@@ -1,0 +1,72 @@
+// Figure 2a: one-stream task-based ping-pong bandwidth vs granularity.
+//
+// Fragment size sweeps 8 KiB .. 8 MiB with the window scaled to keep
+// 256 MiB of data per iteration; series: LCI backend, Open MPI backend,
+// and the NetPIPE-style raw-fabric ceiling.  The §6.2 text statistics
+// (granularity where each backend crosses ~62.5 and ~45 Gbit/s) are
+// printed below the table.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util/harness.hpp"
+
+int main() {
+  const auto reps = bench::Reps::from_env();
+  std::vector<std::size_t> sizes;
+  for (std::size_t s = 8 << 10; s <= (8u << 20); s *= 2) sizes.push_back(s);
+
+  bench::Table table("Fig 2a: ping-pong bandwidth, one stream (Gbit/s)",
+                     {"granularity", "LCI", "Open MPI", "NetPIPE"});
+
+  struct Point {
+    std::size_t size;
+    double lci, mpi;
+  };
+  std::vector<Point> points;
+
+  for (const auto size : sizes) {
+    bench::PingPongOptions opts;
+    opts.fragment_bytes = size;
+    opts.streams = 1;
+    opts.iterations = 4;
+    auto run = [&](ce::BackendKind kind) {
+      return bench::mean_of(reps, [&](int) {
+        return bench::run_pingpong(kind, opts).gbit_per_s;
+      });
+    };
+    const double lci = run(ce::BackendKind::Lci);
+    const double mpi = run(ce::BackendKind::Mpi);
+    const double raw = bench::netpipe_gbit(size);
+    points.push_back({size, lci, mpi});
+    table.add_row({bench::human_bytes(size), bench::fmt(lci, 1),
+                   bench::fmt(mpi, 1), bench::fmt(raw, 1)});
+  }
+
+  // §6.2 text: granularity at which each backend falls below a bandwidth
+  // level (linear interpolation on the log-size axis).
+  auto crossing = [&](bool lci, double level) -> double {
+    for (std::size_t i = points.size(); i-- > 1;) {
+      const double hi = lci ? points[i].lci : points[i].mpi;
+      const double lo = lci ? points[i - 1].lci : points[i - 1].mpi;
+      if (hi >= level && lo < level) {
+        const double f = (level - lo) / (hi - lo);
+        return static_cast<double>(points[i - 1].size) *
+               std::pow(2.0, f);
+      }
+    }
+    return 0;
+  };
+  std::printf("\n-- §6.2 efficiency-crossing statistics --\n");
+  for (const double level : {62.5, 45.0}) {
+    const double m = crossing(false, level);
+    const double l = crossing(true, level);
+    if (m > 0 && l > 0) {
+      std::printf(
+          "%.1f Gbit/s crossing: Open MPI at %.1f KiB, LCI at %.1f KiB "
+          "=> LCI sustains tasks %.2fx smaller\n",
+          level, m / 1024, l / 1024, m / l);
+    }
+  }
+  return 0;
+}

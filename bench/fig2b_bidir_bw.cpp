@@ -1,0 +1,41 @@
+// Figure 2b: two-stream (bidirectional) ping-pong bandwidth vs
+// granularity, with and without the inter-iteration Sync task.  The paper
+// observes that with Sync, large-message bandwidth is depressed by a
+// queueing effect (streams travel together, each node alternately only
+// sending or receiving); removing the synchronization recovers near-peak
+// bidirectional bandwidth.
+#include <vector>
+
+#include "bench_util/harness.hpp"
+
+int main() {
+  const auto reps = bench::Reps::from_env();
+  std::vector<std::size_t> sizes;
+  for (std::size_t s = 16 << 10; s <= (8u << 20); s *= 2) {
+    sizes.push_back(s);
+  }
+
+  bench::Table table(
+      "Fig 2b: ping-pong bandwidth, two streams (Gbit/s)",
+      {"granularity", "LCI", "Open MPI", "LCI (no sync)",
+       "Open MPI (no sync)"});
+
+  for (const auto size : sizes) {
+    auto run = [&](ce::BackendKind kind, bool sync) {
+      bench::PingPongOptions opts;
+      opts.fragment_bytes = size;
+      opts.streams = 2;
+      opts.iterations = 4;
+      opts.sync = sync;
+      return bench::mean_of(reps, [&](int) {
+        return bench::run_pingpong(kind, opts).gbit_per_s;
+      });
+    };
+    table.add_row({bench::human_bytes(size),
+                   bench::fmt(run(ce::BackendKind::Lci, true), 1),
+                   bench::fmt(run(ce::BackendKind::Mpi, true), 1),
+                   bench::fmt(run(ce::BackendKind::Lci, false), 1),
+                   bench::fmt(run(ce::BackendKind::Mpi, false), 1)});
+  }
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Figure 3: computation/communication overlap with GEMM-like intensity.
+//
+// Each PINGPONG task executes sqrt(M/8) FMA per 8 bytes of its M-byte
+// fragment (no Sync, so rounds pipeline).  Reported: achieved FLOP rate
+// for both backends, plus the two model curves from the paper:
+//   Roofline   — perfect overlap:   min(task-parallelism cap, network cap)
+//   No Overlap — strict alternation: flops / (compute time + comm time)
+#include <cmath>
+#include <vector>
+
+#include "bench_util/harness.hpp"
+
+int main() {
+  const auto reps = bench::Reps::from_env();
+  constexpr double kCoreGflops = 40.0;  // GEMM-like FMA rate per core
+  constexpr int kWorkers = 127, kNodes = 2, kStreams = 2;
+
+  bench::Table table(
+      "Fig 3: overlap benchmark, GEMM-like intensity (GFLOP/s)",
+      {"granularity", "LCI", "Open MPI", "No Overlap", "Roofline"});
+
+  for (std::size_t size = 16 << 10; size <= (8u << 20); size *= 2) {
+    bench::PingPongOptions opts;
+    opts.fragment_bytes = size;
+    opts.streams = kStreams;
+    opts.iterations = 4;
+    opts.sync = false;
+    opts.fma_per_8bytes = std::sqrt(static_cast<double>(size) / 8.0);
+    opts.core_gflops = kCoreGflops;
+
+    auto run = [&](ce::BackendKind kind) {
+      return bench::mean_of(reps, [&](int) {
+        return bench::run_pingpong(kind, opts).gflop_per_s;
+      });
+    };
+    const double lci = run(ce::BackendKind::Lci);
+    const double mpi = run(ce::BackendKind::Mpi);
+
+    // Model curves.
+    const double frag_flops =
+        2.0 * opts.fma_per_8bytes * (static_cast<double>(size) / 8.0);
+    const int window = opts.window();
+    const double concurrent_tasks =
+        std::min(window * kStreams, kWorkers * kNodes);
+    const double compute_cap = concurrent_tasks * kCoreGflops * 1e9;
+    const double link_Bps = 12.5e9;  // per direction
+    const double net_cap =
+        2.0 * link_Bps * frag_flops / static_cast<double>(size);
+    const double roofline = std::min(compute_cap, net_cap);
+    const double round_flops =
+        frag_flops * window * kStreams;
+    const double t_comp = round_flops / compute_cap;
+    const double t_comm = static_cast<double>(opts.total_bytes) *
+                          kStreams / (2.0 * link_Bps);
+    const double no_overlap = round_flops / (t_comp + t_comm);
+
+    // run_pingpong already reports GFLOP/s; the model curves are flops/s.
+    table.add_row({bench::human_bytes(size), bench::fmt(lci, 1),
+                   bench::fmt(mpi, 1), bench::fmt(no_overlap / 1e9, 1),
+                   bench::fmt(roofline / 1e9, 1)});
+  }
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Figures 5a/5b + Table 2: strong scaling of the TLR Cholesky
+// (N = 360,000) from 1 to 32 nodes.  For each node count both backends
+// sweep a set of candidate tile sizes; the best time-to-solution is
+// reported ("Open MPI (best)"), along with Open MPI at LCI's best tile
+// (the paper's "Open MPI" series) and Table 2's best-tile summary.
+//
+// Set AMTLCE_QUICK=1 to trim the candidate sets.
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <vector>
+
+#include "bench_util/harness.hpp"
+#include "hicma/driver.hpp"
+
+namespace {
+
+struct Best {
+  int tile = 0;
+  double tts = 1e30;
+  double lat_ms = 0;
+};
+
+hicma::ExperimentResult run(int nodes, int nb, ce::BackendKind kind) {
+  hicma::ExperimentConfig cfg;
+  cfg.nodes = nodes;
+  cfg.backend = kind;
+  cfg.tlr.mode = hicma::TlrOptions::Mode::Model;
+  cfg.tlr.n = 360000;
+  cfg.tlr.nb = nb;
+  return hicma::run_tlr_cholesky(cfg);
+}
+
+}  // namespace
+
+int main() {
+  const bool quick = std::getenv("AMTLCE_QUICK") != nullptr;
+  // Candidate tiles per node count (must keep enough parallelism per
+  // §6.4.4; the sets bracket the paper's Table 2 values).
+  std::map<int, std::vector<int>> candidates = {
+      {1, {3600, 4500, 6000}},  {2, {3600, 4500, 6000}},
+      {4, {3000, 3600, 4500}},  {8, {2400, 3000, 3600}},
+      {16, {1800, 2400, 3000}}, {32, {1500, 1800, 2400}},
+  };
+  if (quick) {
+    for (auto& [nodes, tiles] : candidates) {
+      tiles.erase(tiles.begin());  // drop the most expensive candidate
+    }
+  }
+
+  bench::Table tts("Fig 5a: strong scaling time-to-solution (s)",
+                   {"nodes", "LCI", "Open MPI", "Open MPI (best)"});
+  bench::Table lat("Fig 5b: end-to-end communication latency (ms)",
+                   {"nodes", "LCI", "Open MPI", "Open MPI (best)"});
+  bench::Table t2("Table 2: tile size with lowest time-to-solution",
+                  {"nodes", "Open MPI", "LCI"});
+
+  for (const auto& [nodes, tiles] : candidates) {
+    Best best_lci, best_mpi;
+    std::map<int, hicma::ExperimentResult> mpi_runs;
+    for (const int nb : tiles) {
+      const auto lci = run(nodes, nb, ce::BackendKind::Lci);
+      const auto mpi = run(nodes, nb, ce::BackendKind::Mpi);
+      mpi_runs[nb] = mpi;
+      if (lci.tts_s < best_lci.tts) {
+        best_lci = {nb, lci.tts_s, lci.latency.e2e_mean_ns() / 1e6};
+      }
+      if (mpi.tts_s < best_mpi.tts) {
+        best_mpi = {nb, mpi.tts_s, mpi.latency.e2e_mean_ns() / 1e6};
+      }
+      std::printf("nodes %d tile %d done (LCI %.2f s, MPI %.2f s)\n",
+                  nodes, nb, lci.tts_s, mpi.tts_s);
+      std::fflush(stdout);
+    }
+    const auto& mpi_at_lci_tile = mpi_runs.at(best_lci.tile);
+    tts.add_row({std::to_string(nodes), bench::fmt(best_lci.tts),
+                 bench::fmt(mpi_at_lci_tile.tts_s),
+                 bench::fmt(best_mpi.tts)});
+    lat.add_row({std::to_string(nodes), bench::fmt(best_lci.lat_ms),
+                 bench::fmt(mpi_at_lci_tile.latency.e2e_mean_ns() / 1e6),
+                 bench::fmt(best_mpi.lat_ms)});
+    t2.add_row({std::to_string(nodes), std::to_string(best_mpi.tile),
+                std::to_string(best_lci.tile)});
+  }
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Communication-thread study: demonstrates the §4.3 effect directly.
+//
+// A burst of puts lands on a node whose communication thread is busy
+// running expensive active-message callbacks.  With the MPI backend,
+// message matching only happens inside MPI calls on that same thread, so
+// every transfer stalls behind the callbacks; the LCI backend's dedicated
+// progress thread keeps transfers moving and only the callback dispatch
+// queues.  The example prints the mean put completion latency for both
+// backends and for LCI without its progress thread.
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ce/world.hpp"
+#include "des/engine.hpp"
+#include "des/poll_loop.hpp"
+#include "des/sim_thread.hpp"
+#include "net/fabric.hpp"
+
+namespace {
+
+double run_case(ce::BackendKind kind, bool progress_thread) {
+  des::Engine eng;
+  net::Fabric fabric(eng, 2);
+  ce::CeConfig ce_cfg;
+  ce_cfg.progress_thread = progress_thread;
+  ce_cfg.eager_put_max = 0;
+  ce::CommWorld world(fabric, kind, ce_cfg);
+
+  std::vector<std::unique_ptr<des::SimThread>> threads;
+  std::vector<std::unique_ptr<des::PollLoop>> loops;
+  for (int n = 0; n < 2; ++n) {
+    threads.push_back(
+        std::make_unique<des::SimThread>(eng, "comm-" + std::to_string(n)));
+    auto& engine = world.engine(n);
+    loops.push_back(std::make_unique<des::PollLoop>(
+        *threads.back(), 50, [&engine]() { return engine.progress() > 0; }));
+    engine.set_wake_callback([loop = loops.back().get()]() { loop->wake(); });
+    loops.back()->start();
+  }
+
+  constexpr ce::Tag kBusy = 1, kDone = 2;
+  // Node 1's AM callback is expensive (an ACTIVATE unpacking stand-in).
+  world.engine(1).tag_reg(
+      kBusy,
+      [](ce::CommEngine&, ce::Tag, const void*, std::size_t, int, void*) {
+        des::charge_current(80 * des::kMicrosecond);
+      },
+      nullptr, 64);
+  world.engine(0).tag_reg(kBusy, [](auto&&...) {}, nullptr, 64);
+
+  int done = 0;
+  double latency_sum = 0;
+  constexpr int kPuts = 32;
+  std::vector<des::Time> start(kPuts);
+  world.engine(1).tag_reg(
+      kDone,
+      [&](ce::CommEngine&, ce::Tag, const void* msg, std::size_t, int,
+          void*) {
+        int idx = 0;
+        std::memcpy(&idx, msg, sizeof idx);
+        latency_sum += des::to_seconds(
+            eng.now() - start[static_cast<std::size_t>(idx)]);
+        ++done;
+      },
+      nullptr, 64);
+  world.engine(0).tag_reg(kDone, [](auto&&...) {}, nullptr, 64);
+
+  // Keep node 1's communication thread saturated with AMs...
+  for (int i = 0; i < 64; ++i) world.engine(0).send_am(kBusy, 1, "b", 1);
+  // ...while data transfers race it.
+  const ce::MemReg lreg{0, nullptr, 1 << 20};
+  const ce::MemReg rreg{1, nullptr, 1 << 20};
+  for (int i = 0; i < kPuts; ++i) {
+    start[static_cast<std::size_t>(i)] = eng.now();
+    world.engine(0).put(lreg, 0, rreg, 0, 256 * 1024, 1, nullptr, nullptr,
+                        kDone, &i, sizeof i);
+  }
+  for (auto& loop : loops) loop->wake();
+  eng.run();
+  for (auto& loop : loops) loop->stop();
+  return done > 0 ? latency_sum / done * 1e6 : -1;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("mean put latency under AM-callback load (32 x 256 KiB):\n");
+  std::printf("  Open MPI backend           : %8.1f us\n",
+              run_case(ce::BackendKind::Mpi, true));
+  std::printf("  LCI backend                : %8.1f us\n",
+              run_case(ce::BackendKind::Lci, true));
+  std::printf("  LCI without progress thread: %8.1f us\n",
+              run_case(ce::BackendKind::Lci, false));
+  std::printf(
+      "\nThe dedicated progress thread decouples transfer progress from\n"
+      "callback execution (paper SS5.3.1); the MPI backend serializes\n"
+      "both on the communication thread (SS4.3).\n");
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Ping-pong demo: the paper's §6.2 task-based bandwidth benchmark at a
+// single granularity, printed for both backends plus the raw-fabric
+// ceiling.  A miniature version of bench/fig2a_pingpong_bw.
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench_util/harness.hpp"
+
+int main(int argc, char** argv) {
+  bench::PingPongOptions opts;
+  opts.fragment_bytes = argc > 1
+                            ? static_cast<std::size_t>(std::atoll(argv[1]))
+                            : (128 << 10);
+  opts.total_bytes = 64ull << 20;  // lighter than the paper's 256 MiB
+  opts.iterations = 4;
+
+  std::printf("task-based ping-pong, fragment %s, window %d\n",
+              bench::human_bytes(opts.fragment_bytes).c_str(),
+              opts.window());
+  const auto lci = bench::run_pingpong(ce::BackendKind::Lci, opts);
+  const auto mpi = bench::run_pingpong(ce::BackendKind::Mpi, opts);
+  const double raw =
+      bench::netpipe_gbit(opts.fragment_bytes, opts.total_bytes);
+  std::printf("  LCI backend    : %7.1f Gbit/s  (%.3f s simulated)\n",
+              lci.gbit_per_s, lci.tts_s);
+  std::printf("  Open MPI       : %7.1f Gbit/s  (%.3f s simulated)\n",
+              mpi.gbit_per_s, mpi.tts_s);
+  std::printf("  NetPIPE ceiling: %7.1f Gbit/s\n", raw);
+  return 0;
+}

@@ -1,0 +1,118 @@
+// Runtime configuration and instrumentation counters.
+#pragma once
+
+#include <cstdint>
+
+#include "des/time.hpp"
+
+namespace amt {
+
+struct RuntimeConfig {
+  /// Worker threads per node.  The paper's setup (§6.1.2): 128 cores,
+  /// minus one for the communication thread, minus one more for the LCI
+  /// progress thread.
+  int workers = 4;
+
+  /// §6.4.3 communication multithreading: workers send ACTIVATE messages
+  /// directly instead of funneling them through the communication thread.
+  /// Disables ACTIVATE aggregation.
+  bool mt_activate = false;
+
+  /// Maximum bytes of activation records aggregated into one ACTIVATE AM.
+  std::size_t am_batch_bytes = 3 * 1024;
+
+  /// Maximum outstanding GET DATA requests per node; further fetches wait
+  /// in a priority queue (deferred, §4.1/§4.3).
+  int max_inflight_fetches = 32;
+
+  /// Remote destinations per multicast-tree node; a flow with more
+  /// destinations is forwarded through a tree rooted at the producer.
+  int multicast_arity = 2;
+
+  // --- modeled CPU costs --------------------------------------------------
+  // Calibrated to PaRSEC-scale runtime work.  The ACTIVATE callback is the
+  // expensive one (§4.3): it unpacks each aggregated activation, iterates
+  // over all local descendants of the task, and decides which data to
+  // request — tens of microseconds of comm-thread time per record.  This
+  // is precisely the work that, on the MPI backend, blocks all message
+  // matching while it runs.
+  des::Duration task_epilogue_cost = 8 * des::kMicrosecond;
+  des::Duration activate_pack_cost = 4 * des::kMicrosecond;
+  /// ACTIVATE processing = fixed part + a per-local-descendant part (the
+  /// callback iterates over all local descendants of the completed task).
+  des::Duration activate_unpack_cost = 25 * des::kMicrosecond;
+  des::Duration activate_per_dep_cost = 2 * des::kMicrosecond;
+  des::Duration getdata_handle_cost = 15 * des::kMicrosecond;
+  /// Data-arrival processing = fixed part + per released dependency.
+  des::Duration data_release_cost = 15 * des::kMicrosecond;
+  des::Duration release_per_dep_cost = 3 * des::kMicrosecond;
+  des::Duration scheduler_cost = 1 * des::kMicrosecond;
+  des::Duration comm_loop_cost = 50;  ///< per comm-thread poll iteration
+
+  /// Cost profile for microbenchmark-style task classes whose successor
+  /// functions are trivial (one consumer, no tile bookkeeping) — the
+  /// paper's §6.2/§6.3 ping-pong benchmarks.  The defaults above model a
+  /// complex application (HiCMA: descendant sets of hundreds, low-rank
+  /// tile bookkeeping per record).
+  static RuntimeConfig light_costs() {
+    RuntimeConfig cfg;
+    cfg.task_epilogue_cost = 1000;
+    cfg.activate_pack_cost = 300;
+    cfg.activate_unpack_cost = 1200;
+    cfg.activate_per_dep_cost = 200;
+    cfg.getdata_handle_cost = 1200;
+    cfg.data_release_cost = 1200;
+    cfg.release_per_dep_cost = 150;
+    cfg.scheduler_cost = 400;
+    return cfg;
+  }
+};
+
+/// End-to-end latency statistics (paper Figs. 4b/5b): measured from the
+/// ACTIVATE send until the data arrives, per flow; `e2e` is from the
+/// multicast root, `hop` from the direct predecessor in the tree.
+struct LatencyStats {
+  std::uint64_t count = 0;
+  double hop_sum_ns = 0, hop_max_ns = 0;
+  double e2e_sum_ns = 0, e2e_max_ns = 0;
+
+  void add(double hop_ns, double e2e_ns) {
+    ++count;
+    hop_sum_ns += hop_ns;
+    e2e_sum_ns += e2e_ns;
+    if (hop_ns > hop_max_ns) hop_max_ns = hop_ns;
+    if (e2e_ns > e2e_max_ns) e2e_max_ns = e2e_ns;
+  }
+  void merge(const LatencyStats& o) {
+    count += o.count;
+    hop_sum_ns += o.hop_sum_ns;
+    e2e_sum_ns += o.e2e_sum_ns;
+    if (o.hop_max_ns > hop_max_ns) hop_max_ns = o.hop_max_ns;
+    if (o.e2e_max_ns > e2e_max_ns) e2e_max_ns = o.e2e_max_ns;
+  }
+  double hop_mean_ns() const {
+    return count == 0 ? 0.0 : hop_sum_ns / static_cast<double>(count);
+  }
+  double e2e_mean_ns() const {
+    return count == 0 ? 0.0 : e2e_sum_ns / static_cast<double>(count);
+  }
+};
+
+/// Per-node runtime counters.
+struct NodeStats {
+  std::uint64_t tasks_executed = 0;
+  std::uint64_t activations_sent = 0;      ///< activation records
+  std::uint64_t activate_ams = 0;          ///< AM messages (post-aggregation)
+  std::uint64_t getdata_sent = 0;
+  std::uint64_t getdata_deferred = 0;      ///< waited in the fetch queue
+  std::uint64_t data_arrivals = 0;
+  std::uint64_t forwards = 0;              ///< multicast-tree forwards
+  LatencyStats latency;
+  /// Phase breakdown of the end-to-end path (hop timings in hop_*,
+  /// e2e_* unused): activate-processed -> GET DATA sent, and GET DATA
+  /// sent -> data arrival.
+  LatencyStats fetch_wait;
+  LatencyStats transfer;
+};
+
+}  // namespace amt

@@ -1,0 +1,427 @@
+#include "amt/node_runtime.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <string>
+
+namespace amt {
+
+NodeRuntime::NodeRuntime(des::Engine& engine, net::Fabric& fabric, int rank,
+                         ce::CommEngine& comm, TaskGraphDef& def,
+                         const RuntimeConfig& cfg,
+                         const net::GlobalClock& clock)
+    : eng_(engine), fabric_(fabric), rank_(rank), comm_(comm), def_(def),
+      cfg_(cfg), clock_(clock) {}
+
+NodeRuntime::~NodeRuntime() {
+  if (comm_loop_) comm_loop_->stop();
+}
+
+void NodeRuntime::start() {
+  // Worker threads.
+  workers_.reserve(static_cast<std::size_t>(cfg_.workers));
+  for (int w = 0; w < cfg_.workers; ++w) {
+    workers_.push_back(std::make_unique<des::SimThread>(
+        eng_, "worker-" + std::to_string(rank_) + "." + std::to_string(w)));
+    idle_workers_.push_back(w);
+  }
+
+  // Communication thread + poll loop.
+  comm_thread_ = std::make_unique<des::SimThread>(
+      eng_, "comm-" + std::to_string(rank_));
+  comm_loop_ = std::make_unique<des::PollLoop>(
+      *comm_thread_, cfg_.comm_loop_cost, [this]() { return comm_body(); });
+  comm_.set_wake_callback([this]() { comm_loop_->wake(); });
+  comm_loop_->start();
+
+  // The two runtime active messages (§4.1) plus the put r_tag.
+  comm_.tag_reg(
+      wire::kTagActivate,
+      [](ce::CommEngine&, ce::Tag, const void* msg, std::size_t size,
+         int src, void* self) {
+        static_cast<NodeRuntime*>(self)->on_activate(msg, size, src);
+      },
+      this, 12 * 1024);
+  comm_.tag_reg(
+      wire::kTagGetData,
+      [](ce::CommEngine&, ce::Tag, const void* msg, std::size_t size,
+         int src, void* self) {
+        static_cast<NodeRuntime*>(self)->on_getdata(msg, size, src);
+      },
+      this, 256);
+  comm_.tag_reg(
+      wire::kTagDataArrived,
+      [](ce::CommEngine&, ce::Tag, const void* msg, std::size_t size,
+         int src, void* self) {
+        static_cast<NodeRuntime*>(self)->on_data_arrived(msg, size, src);
+      },
+      this, 256);
+
+  // Source tasks.
+  std::vector<TaskKey> initial;
+  def_.initial_tasks(rank_, initial);
+  for (const TaskKey& t : initial) {
+    assert(def_.num_inputs(t) == 0 && "initial task with inputs");
+    task_ready(t, {});
+  }
+}
+
+des::Duration NodeRuntime::worker_busy_time() const {
+  des::Duration total = 0;
+  for (const auto& w : workers_) total += w->busy_time();
+  return total;
+}
+
+void NodeRuntime::wake_comm() { comm_loop_->wake(); }
+
+// ---------------------------------------------------------------------------
+// Scheduling
+
+void NodeRuntime::task_ready(const TaskKey& key,
+                             std::vector<DataCopyPtr> inputs) {
+  ReadyTask rt;
+  rt.priority = def_.priority(key);
+  rt.seq = ready_seq_++;
+  rt.key = key;
+  rt.inputs = std::move(inputs);
+  ready_.push(std::move(rt));
+  try_dispatch();
+}
+
+void NodeRuntime::try_dispatch() {
+  while (!ready_.empty() && !idle_workers_.empty()) {
+    // priority_queue has no non-const top-move; copy the small parts and
+    // move the heap entry out via const_cast-free pop pattern.
+    ReadyTask task = std::move(const_cast<ReadyTask&>(ready_.top()));
+    ready_.pop();
+    const int w = idle_workers_.back();
+    idle_workers_.pop_back();
+    auto& worker = *workers_[static_cast<std::size_t>(w)];
+    worker.post_work(cfg_.scheduler_cost,
+                     [this, t = std::move(task), w]() mutable {
+                       run_task(std::move(t), w);
+                     });
+  }
+}
+
+void NodeRuntime::run_task(ReadyTask&& task, int worker_idx) {
+  auto& worker = *workers_[static_cast<std::size_t>(worker_idx)];
+  RunContext ctx(std::move(task.inputs), def_.num_outputs(task.key));
+  const des::Duration body = def_.execute(task.key, ctx);
+  worker.charge(body + cfg_.task_epilogue_cost);
+  ++stats_.tasks_executed;
+  task_completed(task.key, ctx);
+  idle_workers_.push_back(worker_idx);
+  try_dispatch();
+}
+
+void NodeRuntime::deliver_local(const Dep& dep, const DataCopyPtr& copy) {
+  auto [it, created] = task_states_.try_emplace(dep.task);
+  TaskState& st = it->second;
+  if (created) {
+    st.remaining = def_.num_inputs(dep.task);
+    st.inputs.resize(static_cast<std::size_t>(st.remaining));
+    assert(st.remaining > 0);
+  }
+  auto& slot = st.inputs.at(static_cast<std::size_t>(dep.input));
+  assert(slot == nullptr && "input delivered twice");
+  slot = copy;
+  if (--st.remaining == 0) {
+    std::vector<DataCopyPtr> inputs = std::move(st.inputs);
+    const TaskKey key = dep.task;
+    task_states_.erase(it);
+    task_ready(key, std::move(inputs));
+  }
+}
+
+void NodeRuntime::task_completed(const TaskKey& key, RunContext& ctx) {
+  const int nout = def_.num_outputs(key);
+  for (int f = 0; f < nout; ++f) {
+    deps_scratch_.clear();
+    def_.successors(key, f, deps_scratch_);
+    if (deps_scratch_.empty()) continue;
+    const DataCopyPtr& copy = ctx.output(f);
+    assert(copy != nullptr && "task did not set an output with successors");
+
+    std::vector<std::int32_t> remote_ranks;
+    double remote_prio = 0.0;
+    for (const Dep& dep : deps_scratch_) {
+      const int r = def_.rank_of(dep.task);
+      if (r == rank_) {
+        deliver_local(dep, copy);
+      } else {
+        if (std::find(remote_ranks.begin(), remote_ranks.end(), r) ==
+            remote_ranks.end()) {
+          remote_ranks.push_back(r);
+        }
+        remote_prio = std::max(remote_prio, def_.priority(dep.task));
+      }
+    }
+    if (!remote_ranks.empty()) {
+      std::sort(remote_ranks.begin(), remote_ranks.end());
+      publish_remote(FlowKey{key, f}, copy, remote_prio,
+                     fabric_.local_clock(rank_), std::move(remote_ranks));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Multicast publication (producer or forwarding node)
+
+void NodeRuntime::publish_remote(const FlowKey& flow, const DataCopyPtr& copy,
+                                 double priority, des::Time root_ts,
+                                 std::vector<std::int32_t> destinations) {
+  // Split the destination list into at most `multicast_arity` children;
+  // each child receives a contiguous slice of the remainder to forward.
+  const int arity = std::max(1, cfg_.multicast_arity);
+  const auto n = static_cast<int>(destinations.size());
+  const int children = std::min(arity, n);
+
+  auto [it, created] = outgoing_.try_emplace(flow);
+  OutgoingData& out = it->second;
+  assert(created && "flow published twice");
+  out.copy = copy;
+  out.expected_gets = children;
+
+  const int rest = n - children;
+  int consumed = children;
+  for (int c = 0; c < children; ++c) {
+    const int share = rest / children + (c < rest % children ? 1 : 0);
+    wire::ActivationRecord rec;
+    rec.flow = flow;
+    rec.size = copy->size;
+    rec.src_rank = rank_;
+    rec.priority = priority;
+    rec.root_ts = root_ts;
+    rec.send_ts = fabric_.local_clock(rank_);
+    rec.real = copy->bytes != nullptr ? 1 : 0;
+    rec.subtree.assign(destinations.begin() + consumed,
+                       destinations.begin() + consumed + share);
+    consumed += share;
+    emit_activation(destinations[static_cast<std::size_t>(c)],
+                    std::move(rec));
+  }
+  assert(consumed == n);
+}
+
+void NodeRuntime::emit_activation(int dst, wire::ActivationRecord&& rec) {
+  ++stats_.activations_sent;
+  if (cfg_.mt_activate) {
+    // §6.4.3: the worker (or whichever thread completes the flow) sends
+    // directly.  No aggregation.
+    des::charge_current(cfg_.activate_pack_cost);
+    rec.send_ts = fabric_.local_clock(rank_);
+    std::vector<wire::ActivationRecord> one;
+    one.push_back(std::move(rec));
+    send_activate_am(dst, one);
+  } else {
+    outgoing_activations_[dst].push_back(std::move(rec));
+    wake_comm();
+  }
+}
+
+void NodeRuntime::send_activate_am(
+    int dst, const std::vector<wire::ActivationRecord>& records) {
+  const auto buf = wire::pack_activate(records);
+  comm_.send_am(wire::kTagActivate, dst, buf.data(), buf.size());
+  ++stats_.activate_ams;
+}
+
+bool NodeRuntime::flush_activations() {
+  bool sent = false;
+  for (auto& [dst, records] : outgoing_activations_) {
+    while (!records.empty()) {
+      // Aggregate as many records as fit under the batch limit (§4.3).
+      std::vector<wire::ActivationRecord> batch;
+      std::size_t bytes = sizeof(std::uint16_t);
+      while (!records.empty() &&
+             (batch.empty() ||
+              bytes + wire::record_wire_size(records.front()) <=
+                  cfg_.am_batch_bytes)) {
+        bytes += wire::record_wire_size(records.front());
+        des::charge_current(cfg_.activate_pack_cost);
+        records.front().send_ts = fabric_.local_clock(rank_);
+        batch.push_back(std::move(records.front()));
+        records.erase(records.begin());
+      }
+      send_activate_am(dst, batch);
+      sent = true;
+    }
+  }
+  if (sent) {
+    std::erase_if(outgoing_activations_,
+                  [](const auto& kv) { return kv.second.empty(); });
+  }
+  return sent;
+}
+
+// ---------------------------------------------------------------------------
+// Receiving side
+
+void NodeRuntime::on_activate(const void* msg, std::size_t size, int src) {
+  (void)src;
+  auto records = wire::unpack_activate(msg, size);
+  for (auto& rec : records) {
+    des::charge_current(cfg_.activate_unpack_cost);
+    PendingFetch pf;
+    deps_scratch_.clear();
+    def_.successors(rec.flow.producer, rec.flow.flow, deps_scratch_);
+    double prio = rec.priority;
+    for (const Dep& dep : deps_scratch_) {
+      if (def_.rank_of(dep.task) == rank_) {
+        pf.local_deps.push_back(dep);
+        prio = std::max(prio, def_.priority(dep.task));
+      }
+    }
+    // Iterating descendants is the expensive part of the callback (§4.3).
+    des::charge_current(static_cast<des::Duration>(pf.local_deps.size()) *
+                        cfg_.activate_per_dep_cost);
+    pf.fetch_priority = prio;
+    pf.activated_ts = eng_.now();
+    pf.record = std::move(rec);
+
+    if (pf.record.size == 0 && pf.record.subtree.empty()) {
+      // Control-only dependency: nothing to fetch; release immediately.
+      const des::Time now_g =
+          clock_.to_global(rank_, fabric_.local_clock(rank_));
+      const des::Time hop_g =
+          clock_.to_global(pf.record.src_rank, pf.record.send_ts);
+      const int root = def_.rank_of(pf.record.flow.producer);
+      const des::Time root_g = clock_.to_global(root, pf.record.root_ts);
+      stats_.latency.add(static_cast<double>(now_g - hop_g),
+                         static_cast<double>(now_g - root_g));
+      ++stats_.data_arrivals;
+      des::charge_current(
+          static_cast<des::Duration>(pf.local_deps.size()) *
+          cfg_.release_per_dep_cost);
+      auto empty = DataCopy::virt(0);
+      for (const Dep& dep : pf.local_deps) deliver_local(dep, empty);
+      continue;
+    }
+
+    const FlowKey flow = pf.record.flow;
+    const auto [it, created] = pending_.emplace(flow, std::move(pf));
+    assert(created && "duplicate activation for flow");
+    (void)it;
+    fetch_queue_.push(FetchOrder{prio, fetch_seq_++, flow});
+    if (inflight_fetches_ >= cfg_.max_inflight_fetches) {
+      ++stats_.getdata_deferred;
+    }
+  }
+  issue_fetches();
+}
+
+bool NodeRuntime::issue_fetches() {
+  bool issued = false;
+  while (inflight_fetches_ < cfg_.max_inflight_fetches &&
+         !fetch_queue_.empty()) {
+    const FetchOrder fo = fetch_queue_.top();
+    fetch_queue_.pop();
+    auto it = pending_.find(fo.flow);
+    assert(it != pending_.end());
+    PendingFetch& pf = it->second;
+    assert(!pf.requested);
+    pf.requested = true;
+    pf.buffer = pf.record.real != 0
+                    ? DataCopy::real(static_cast<std::size_t>(pf.record.size))
+                    : DataCopy::virt(static_cast<std::size_t>(pf.record.size));
+    wire::GetDataMsg g;
+    g.flow = fo.flow;
+    g.rbase = pf.buffer->bytes
+                  ? reinterpret_cast<std::uint64_t>(pf.buffer->bytes->data())
+                  : 0;
+    g.rsize = pf.record.size;
+    des::charge_current(cfg_.getdata_handle_cost);
+    pf.requested_ts = eng_.now();
+    comm_.send_am(wire::kTagGetData, pf.record.src_rank, &g, sizeof g);
+    ++stats_.getdata_sent;
+    ++inflight_fetches_;
+    issued = true;
+  }
+  return issued;
+}
+
+void NodeRuntime::on_getdata(const void* msg, std::size_t size, int src) {
+  const auto g = wire::unpack_pod<wire::GetDataMsg>(msg, size);
+  des::charge_current(cfg_.getdata_handle_cost);
+  auto it = outgoing_.find(g.flow);
+  assert(it != outgoing_.end() && "GET DATA for unknown flow");
+  OutgoingData& out = it->second;
+
+  ce::MemReg lreg{rank_,
+                  out.copy->bytes ? static_cast<void*>(out.copy->bytes->data())
+                                  : nullptr,
+                  out.copy->size};
+  ce::MemReg rreg{src, reinterpret_cast<void*>(g.rbase),
+                  static_cast<std::size_t>(g.rsize)};
+  const wire::DataArrivedMsg arrived{g.flow};
+  const FlowKey flow = g.flow;
+  // Keep the copy alive until the put drains locally; then retire the
+  // outgoing entry once every direct child has been served.
+  DataCopyPtr keepalive = out.copy;
+  comm_.put(
+      lreg, 0, rreg, 0, out.copy->size, src,
+      [this, flow, keepalive](ce::CommEngine&, const ce::MemReg&,
+                              std::ptrdiff_t, const ce::MemReg&,
+                              std::ptrdiff_t, std::size_t, int, void*) {
+        auto oit = outgoing_.find(flow);
+        assert(oit != outgoing_.end());
+        if (++oit->second.gets_served == oit->second.expected_gets) {
+          outgoing_.erase(oit);
+        }
+      },
+      nullptr, wire::kTagDataArrived, &arrived, sizeof arrived);
+}
+
+void NodeRuntime::on_data_arrived(const void* msg, std::size_t size,
+                                  int src) {
+  (void)src;
+  const auto d = wire::unpack_pod<wire::DataArrivedMsg>(msg, size);
+  des::charge_current(cfg_.data_release_cost);
+  auto it = pending_.find(d.flow);
+  assert(it != pending_.end() && "data arrived for unknown flow");
+  PendingFetch pf = std::move(it->second);
+  pending_.erase(it);
+  --inflight_fetches_;
+  ++stats_.data_arrivals;
+
+  // Latency accounting (§6.1.3): clock-corrected, per flow.
+  const des::Time now_g =
+      clock_.to_global(rank_, fabric_.local_clock(rank_));
+  const des::Time hop_send_g =
+      clock_.to_global(pf.record.src_rank, pf.record.send_ts);
+  // root_ts was stamped by the multicast root; we do not know the root's
+  // rank directly, but the producer's owner is it.
+  const int root = def_.rank_of(pf.record.flow.producer);
+  const des::Time root_send_g = clock_.to_global(root, pf.record.root_ts);
+  stats_.latency.add(static_cast<double>(now_g - hop_send_g),
+                     static_cast<double>(now_g - root_send_g));
+  stats_.fetch_wait.add(
+      static_cast<double>(pf.requested_ts - pf.activated_ts), 0.0);
+  stats_.transfer.add(static_cast<double>(eng_.now() - pf.requested_ts),
+                      0.0);
+
+  des::charge_current(static_cast<des::Duration>(pf.local_deps.size()) *
+                      cfg_.release_per_dep_cost);
+  for (const Dep& dep : pf.local_deps) deliver_local(dep, pf.buffer);
+
+  if (!pf.record.subtree.empty()) {
+    ++stats_.forwards;
+    publish_remote(pf.record.flow, pf.buffer, pf.record.priority,
+                   pf.record.root_ts, std::move(pf.record.subtree));
+  }
+  issue_fetches();
+}
+
+// ---------------------------------------------------------------------------
+// Communication thread body
+
+bool NodeRuntime::comm_body() {
+  bool worked = false;
+  if (!cfg_.mt_activate) worked |= flush_activations();
+  worked |= issue_fetches();
+  worked |= comm_.progress() > 0;
+  return worked;
+}
+
+}  // namespace amt

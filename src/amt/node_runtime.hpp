@@ -1,0 +1,158 @@
+// Per-node runtime: scheduler, worker threads, and the communication
+// thread implementing the ACTIVATE / GET DATA protocol of §4.1.
+//
+// Lifecycle of a remote dataflow (paper Fig. 1):
+//   1. Task A completes on this node.  For each output flow the epilogue
+//      finds the successors; local ones get the data copy immediately,
+//      remote ranks become a multicast: direct children receive ACTIVATE
+//      records (with the subtree each must forward to), and the produced
+//      copy parks in the outgoing table awaiting GET DATA.
+//   2. ACTIVATE records are queued per destination and aggregated by the
+//      communication thread into one AM per destination (§4.3) — unless
+//      mt_activate is set, in which case the worker sends them directly
+//      (§6.4.3).
+//   3. A destination unpacks each record, evaluates the priority of its
+//      local successors, and enqueues a fetch.  The fetch queue is
+//      priority-ordered and capped; GET DATA carries the receive buffer
+//      registration.
+//   4. The data holder answers GET DATA with put(); the put's remote
+//      completion releases local dependencies, records latency (hop and
+//      root-to-here), and triggers subtree forwarding.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "ce/comm_engine.hpp"
+#include "des/poll_loop.hpp"
+#include "des/sim_thread.hpp"
+#include "net/clock_sync.hpp"
+#include "net/fabric.hpp"
+#include "amt/config.hpp"
+#include "amt/task_graph.hpp"
+#include "amt/task_key.hpp"
+#include "amt/wire.hpp"
+
+namespace amt {
+
+class NodeRuntime {
+ public:
+  NodeRuntime(des::Engine& engine, net::Fabric& fabric, int rank,
+              ce::CommEngine& comm, TaskGraphDef& def,
+              const RuntimeConfig& cfg, const net::GlobalClock& clock);
+  ~NodeRuntime();
+  NodeRuntime(const NodeRuntime&) = delete;
+  NodeRuntime& operator=(const NodeRuntime&) = delete;
+
+  /// Registers AM tags, starts threads, and schedules this rank's source
+  /// tasks.
+  void start();
+
+  const NodeStats& stats() const { return stats_; }
+  int rank() const { return rank_; }
+
+  /// Aggregate busy time over worker threads (for utilization reports).
+  des::Duration worker_busy_time() const;
+  des::SimThread& comm_thread() { return *comm_thread_; }
+
+ private:
+  struct TaskState {
+    int remaining = 0;
+    std::vector<DataCopyPtr> inputs;
+  };
+  struct ReadyTask {
+    double priority = 0.0;
+    std::uint64_t seq = 0;  ///< FIFO among equal priorities
+    TaskKey key;
+    std::vector<DataCopyPtr> inputs;
+  };
+  struct ReadyOrder {
+    bool operator()(const ReadyTask& a, const ReadyTask& b) const {
+      if (a.priority != b.priority) return a.priority < b.priority;
+      return a.seq > b.seq;
+    }
+  };
+  /// Data held for remote consumers (origin side of puts).
+  struct OutgoingData {
+    DataCopyPtr copy;
+    int expected_gets = 0;
+    int gets_served = 0;
+  };
+  /// A flow announced by ACTIVATE, awaiting fetch + arrival.
+  struct PendingFetch {
+    wire::ActivationRecord record;
+    std::vector<Dep> local_deps;
+    DataCopyPtr buffer;
+    double fetch_priority = 0.0;
+    bool requested = false;
+    des::Time activated_ts = 0;  ///< when the ACTIVATE was processed here
+    des::Time requested_ts = 0;  ///< when GET DATA left
+  };
+  struct FetchOrder {
+    double priority;
+    std::uint64_t seq;
+    FlowKey flow;
+    bool operator<(const FetchOrder& o) const {
+      if (priority != o.priority) return priority < o.priority;
+      return seq > o.seq;
+    }
+  };
+
+  // --- scheduling -----------------------------------------------------
+  void task_ready(const TaskKey& key, std::vector<DataCopyPtr> inputs);
+  void try_dispatch();
+  void run_task(ReadyTask&& task, int worker_idx);
+  void task_completed(const TaskKey& key, RunContext& ctx);
+  void deliver_local(const Dep& dep, const DataCopyPtr& copy);
+
+  // --- communication ----------------------------------------------------
+  void publish_remote(const FlowKey& flow, const DataCopyPtr& copy,
+                      double priority, des::Time root_ts,
+                      std::vector<std::int32_t> destinations);
+  void emit_activation(int dst, wire::ActivationRecord&& rec);
+  void send_activate_am(int dst, const std::vector<wire::ActivationRecord>&);
+  void on_activate(const void* msg, std::size_t size, int src);
+  void on_getdata(const void* msg, std::size_t size, int src);
+  void on_data_arrived(const void* msg, std::size_t size, int src);
+  bool issue_fetches();
+  bool flush_activations();
+  bool comm_body();
+  void wake_comm();
+
+  des::Engine& eng_;
+  net::Fabric& fabric_;
+  int rank_;
+  ce::CommEngine& comm_;
+  TaskGraphDef& def_;
+  const RuntimeConfig& cfg_;
+  const net::GlobalClock& clock_;
+  NodeStats stats_;
+
+  // Scheduler state.
+  std::unordered_map<TaskKey, TaskState, TaskKeyHash> task_states_;
+  std::priority_queue<ReadyTask, std::vector<ReadyTask>, ReadyOrder> ready_;
+  std::vector<std::unique_ptr<des::SimThread>> workers_;
+  std::vector<int> idle_workers_;
+  std::uint64_t ready_seq_ = 0;
+
+  // Communication state.
+  std::unordered_map<FlowKey, OutgoingData, FlowKeyHash> outgoing_;
+  std::unordered_map<FlowKey, PendingFetch, FlowKeyHash> pending_;
+  std::priority_queue<FetchOrder> fetch_queue_;
+  std::unordered_map<int, std::vector<wire::ActivationRecord>>
+      outgoing_activations_;
+  std::uint64_t fetch_seq_ = 0;
+  int inflight_fetches_ = 0;
+
+  std::unique_ptr<des::SimThread> comm_thread_;
+  std::unique_ptr<des::PollLoop> comm_loop_;
+
+  // Scratch to avoid per-call allocation in hot paths.
+  std::vector<Dep> deps_scratch_;
+};
+
+}  // namespace amt

@@ -1,0 +1,61 @@
+#include "amt/runtime.hpp"
+
+namespace amt {
+
+Runtime::Runtime(des::Engine& engine, net::Fabric& fabric,
+                 ce::CommWorld& comm, TaskGraphDef& def, RuntimeConfig cfg,
+                 net::GlobalClock clock)
+    : eng_(engine), def_(def), cfg_(std::move(cfg)),
+      clock_(std::move(clock)) {
+  if (clock_.offsets().empty()) {
+    clock_ = net::GlobalClock::identity(fabric.num_nodes());
+  }
+  nodes_.reserve(static_cast<std::size_t>(fabric.num_nodes()));
+  for (int r = 0; r < fabric.num_nodes(); ++r) {
+    nodes_.push_back(std::make_unique<NodeRuntime>(
+        engine, fabric, r, comm.engine(r), def, cfg_, clock_));
+  }
+}
+
+des::Duration Runtime::run() {
+  const des::Time start = eng_.now();
+  for (auto& n : nodes_) n->start();
+  eng_.run();
+  const std::uint64_t executed = total_tasks_executed();
+  assert(executed == def_.total_tasks() &&
+         "runtime quiesced before completing all tasks (deadlock?)");
+  (void)executed;
+  return eng_.now() - start;
+}
+
+NodeStats Runtime::aggregate_stats() const {
+  NodeStats total;
+  for (const auto& n : nodes_) {
+    const NodeStats& s = n->stats();
+    total.tasks_executed += s.tasks_executed;
+    total.activations_sent += s.activations_sent;
+    total.activate_ams += s.activate_ams;
+    total.getdata_sent += s.getdata_sent;
+    total.getdata_deferred += s.getdata_deferred;
+    total.data_arrivals += s.data_arrivals;
+    total.forwards += s.forwards;
+    total.latency.merge(s.latency);
+    total.fetch_wait.merge(s.fetch_wait);
+    total.transfer.merge(s.transfer);
+  }
+  return total;
+}
+
+std::uint64_t Runtime::total_tasks_executed() const {
+  std::uint64_t n = 0;
+  for (const auto& node : nodes_) n += node->stats().tasks_executed;
+  return n;
+}
+
+des::Duration Runtime::total_worker_busy() const {
+  des::Duration n = 0;
+  for (const auto& node : nodes_) n += node->worker_busy_time();
+  return n;
+}
+
+}  // namespace amt

@@ -1,0 +1,48 @@
+// The distributed runtime: one NodeRuntime per simulated node, a shared
+// TaskGraphDef, and the execution driver.
+#pragma once
+
+#include <cassert>
+#include <memory>
+#include <vector>
+
+#include "ce/world.hpp"
+#include "des/engine.hpp"
+#include "net/clock_sync.hpp"
+#include "net/fabric.hpp"
+#include "amt/config.hpp"
+#include "amt/node_runtime.hpp"
+#include "amt/task_graph.hpp"
+
+namespace amt {
+
+class Runtime {
+ public:
+  Runtime(des::Engine& engine, net::Fabric& fabric, ce::CommWorld& comm,
+          TaskGraphDef& def, RuntimeConfig cfg = {},
+          net::GlobalClock clock = {});
+
+  /// Executes the task graph to completion.  Returns the makespan
+  /// (simulated time from call to global quiescence).
+  des::Duration run();
+
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  NodeRuntime& node(int rank) {
+    return *nodes_.at(static_cast<std::size_t>(rank));
+  }
+
+  /// Sum of per-node counters.
+  NodeStats aggregate_stats() const;
+  std::uint64_t total_tasks_executed() const;
+  /// Aggregate worker busy time across all nodes.
+  des::Duration total_worker_busy() const;
+
+ private:
+  des::Engine& eng_;
+  TaskGraphDef& def_;
+  RuntimeConfig cfg_;
+  net::GlobalClock clock_;
+  std::vector<std::unique_ptr<NodeRuntime>> nodes_;
+};
+
+}  // namespace amt

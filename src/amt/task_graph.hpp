@@ -1,0 +1,103 @@
+// Application interface: a parameterized task graph (PTG-lite).
+//
+// The application describes its computation algebraically, the way a
+// PaRSEC JDF does: given any task key the definition can answer who runs
+// it, what its successors are, and how to execute its body.  The runtime
+// instantiates task state on demand (first activation) and discards it at
+// completion, so graphs with millions of tasks never exist in memory at
+// once — only the execution frontier does.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "des/time.hpp"
+#include "amt/task_key.hpp"
+
+namespace amt {
+
+/// A reference-counted piece of task data.  `bytes` may be null ("virtual"
+/// payload): the size still drives communication timing, but no memory
+/// moves — paper-scale experiments run this way.
+struct DataCopy {
+  std::shared_ptr<std::vector<std::byte>> bytes;
+  std::size_t size = 0;
+
+  static std::shared_ptr<DataCopy> real(std::size_t n) {
+    auto d = std::make_shared<DataCopy>();
+    d->bytes = std::make_shared<std::vector<std::byte>>(n);
+    d->size = n;
+    return d;
+  }
+  static std::shared_ptr<DataCopy> virt(std::size_t n) {
+    auto d = std::make_shared<DataCopy>();
+    d->size = n;
+    return d;
+  }
+};
+using DataCopyPtr = std::shared_ptr<DataCopy>;
+
+/// Handed to a task body: read inputs, publish outputs.
+class RunContext {
+ public:
+  explicit RunContext(std::vector<DataCopyPtr> inputs, int num_outputs)
+      : inputs_(std::move(inputs)),
+        outputs_(static_cast<std::size_t>(num_outputs)) {}
+
+  const DataCopyPtr& input(int idx) const {
+    return inputs_.at(static_cast<std::size_t>(idx));
+  }
+  std::size_t num_inputs() const { return inputs_.size(); }
+
+  /// Publishes the datum for output flow `flow`.  Every flow that has
+  /// successors must be set before the body returns.
+  void set_output(int flow, DataCopyPtr data) {
+    outputs_.at(static_cast<std::size_t>(flow)) = std::move(data);
+  }
+  const DataCopyPtr& output(int flow) const {
+    return outputs_.at(static_cast<std::size_t>(flow));
+  }
+
+ private:
+  std::vector<DataCopyPtr> inputs_;
+  std::vector<DataCopyPtr> outputs_;
+};
+
+/// The application-provided, immutable graph definition.  One instance is
+/// shared by every simulated node (it encodes global knowledge the same
+/// way a JDF compiled into every process does).
+class TaskGraphDef {
+ public:
+  virtual ~TaskGraphDef() = default;
+
+  /// Number of input dependencies of `t` (0 for source tasks).
+  virtual int num_inputs(const TaskKey& t) const = 0;
+
+  /// Number of output flows of `t`.
+  virtual int num_outputs(const TaskKey& t) const = 0;
+
+  /// Owner-computes rank for `t`.
+  virtual int rank_of(const TaskKey& t) const = 0;
+
+  /// Appends the consumers of output `flow` of `t` to `out`.
+  virtual void successors(const TaskKey& t, int flow,
+                          std::vector<Dep>& out) const = 0;
+
+  /// Scheduling priority; larger runs earlier, and data for
+  /// higher-priority consumers is fetched first.
+  virtual double priority(const TaskKey& /*t*/) const { return 0.0; }
+
+  /// Executes the body of `t` and returns its modeled duration.  The body
+  /// must set every output flow that has successors.
+  virtual des::Duration execute(const TaskKey& t, RunContext& ctx) = 0;
+
+  /// Appends the source tasks (num_inputs == 0) owned by `rank`.
+  virtual void initial_tasks(int rank, std::vector<TaskKey>& out) const = 0;
+
+  /// Total number of tasks across all ranks (for completion checking).
+  virtual std::uint64_t total_tasks() const = 0;
+};
+
+}  // namespace amt

@@ -1,0 +1,56 @@
+// Task identification for the parameterized task graph.
+//
+// Like PaRSEC's JDF tasks, a task is identified by its task class plus up
+// to three integer parameters, e.g. GEMM(i, j, k).  Keys are trivially
+// copyable so they travel inside ACTIVATE / GET DATA messages.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace amt {
+
+struct TaskKey {
+  std::int32_t cls = 0;
+  std::int32_t i = 0;
+  std::int32_t j = 0;
+  std::int32_t k = 0;
+
+  friend bool operator==(const TaskKey&, const TaskKey&) = default;
+};
+
+/// A dataflow edge endpoint: successor task + which of its inputs.
+struct Dep {
+  TaskKey task;
+  std::int32_t input = 0;
+};
+
+/// Identifies one produced datum: (producer task, output flow).
+struct FlowKey {
+  TaskKey producer;
+  std::int32_t flow = 0;
+
+  friend bool operator==(const FlowKey&, const FlowKey&) = default;
+};
+
+struct TaskKeyHash {
+  std::size_t operator()(const TaskKey& k) const {
+    // splitmix-style mix of the four fields.
+    std::uint64_t h = static_cast<std::uint32_t>(k.cls);
+    h = h * 0x9E3779B97F4A7C15ULL + static_cast<std::uint32_t>(k.i);
+    h = (h ^ (h >> 30)) * 0xBF58476D1CE4E5B9ULL +
+        static_cast<std::uint32_t>(k.j);
+    h = (h ^ (h >> 27)) * 0x94D049BB133111EBULL +
+        static_cast<std::uint32_t>(k.k);
+    return static_cast<std::size_t>(h ^ (h >> 31));
+  }
+};
+
+struct FlowKeyHash {
+  std::size_t operator()(const FlowKey& f) const {
+    return TaskKeyHash{}(f.producer) * 1099511628211ULL +
+           static_cast<std::uint32_t>(f.flow);
+  }
+};
+
+}  // namespace amt

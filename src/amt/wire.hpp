@@ -1,0 +1,140 @@
+// Wire formats for the runtime's control messages.
+//
+// ACTIVATE carries one or more activation records (aggregation, §4.3).
+// Each record describes one produced flow a destination must fetch, plus
+// the multicast-subtree ranks that destination is responsible for
+// forwarding to once the data lands.  GET DATA carries the requester's
+// receive registration; the put's remote-completion callback data carries
+// the flow identity back.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "ce/comm_engine.hpp"
+#include "des/time.hpp"
+#include "amt/task_key.hpp"
+
+namespace amt::wire {
+
+// AM tags registered by the runtime.
+inline constexpr ce::Tag kTagActivate = 0x10;
+inline constexpr ce::Tag kTagGetData = 0x11;
+inline constexpr ce::Tag kTagDataArrived = 0x12;  ///< put r_tag
+
+struct ActivationRecord {
+  FlowKey flow;
+  std::uint64_t size = 0;      ///< data bytes to fetch
+  std::int32_t src_rank = -1;  ///< who holds the data (tree parent)
+  double priority = 0.0;
+  des::Time root_ts = 0;       ///< multicast-root send time (local clock)
+  des::Time send_ts = 0;       ///< this hop's send time (local clock)
+  std::uint8_t real = 0;       ///< 1 = data has real bytes (receiver
+                               ///< allocates a real buffer)
+  std::vector<std::int32_t> subtree;  ///< ranks this destination forwards to
+};
+
+namespace detail {
+
+template <typename T>
+void append(std::vector<std::byte>& buf, const T& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const std::size_t off = buf.size();
+  buf.resize(off + sizeof v);
+  std::memcpy(buf.data() + off, &v, sizeof v);
+}
+
+template <typename T>
+T read(const std::byte*& p) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  T v;
+  std::memcpy(&v, p, sizeof v);
+  p += sizeof v;
+  return v;
+}
+
+}  // namespace detail
+
+inline std::size_t record_wire_size(const ActivationRecord& r) {
+  return sizeof(FlowKey) + sizeof(std::uint64_t) + sizeof(std::int32_t) +
+         sizeof(double) + 2 * sizeof(des::Time) + sizeof(std::uint8_t) +
+         sizeof(std::uint16_t) + r.subtree.size() * sizeof(std::int32_t);
+}
+
+inline void pack_record(std::vector<std::byte>& buf,
+                        const ActivationRecord& r) {
+  detail::append(buf, r.flow);
+  detail::append(buf, r.size);
+  detail::append(buf, r.src_rank);
+  detail::append(buf, r.priority);
+  detail::append(buf, r.root_ts);
+  detail::append(buf, r.send_ts);
+  detail::append(buf, r.real);
+  detail::append(buf, static_cast<std::uint16_t>(r.subtree.size()));
+  for (const auto rank : r.subtree) detail::append(buf, rank);
+}
+
+/// Packs `count` records preceded by a count header.
+inline std::vector<std::byte> pack_activate(
+    const std::vector<ActivationRecord>& records) {
+  std::vector<std::byte> buf;
+  detail::append(buf, static_cast<std::uint16_t>(records.size()));
+  for (const auto& r : records) pack_record(buf, r);
+  return buf;
+}
+
+inline std::vector<ActivationRecord> unpack_activate(const void* msg,
+                                                     std::size_t size) {
+  const auto* p = static_cast<const std::byte*>(msg);
+  const std::byte* const end = p + size;
+  const auto count = detail::read<std::uint16_t>(p);
+  std::vector<ActivationRecord> out;
+  out.reserve(count);
+  for (std::uint16_t c = 0; c < count; ++c) {
+    ActivationRecord r;
+    r.flow = detail::read<FlowKey>(p);
+    r.size = detail::read<std::uint64_t>(p);
+    r.src_rank = detail::read<std::int32_t>(p);
+    r.priority = detail::read<double>(p);
+    r.root_ts = detail::read<des::Time>(p);
+    r.send_ts = detail::read<des::Time>(p);
+    r.real = detail::read<std::uint8_t>(p);
+    const auto n = detail::read<std::uint16_t>(p);
+    r.subtree.resize(n);
+    for (auto& rank : r.subtree) rank = detail::read<std::int32_t>(p);
+    out.push_back(std::move(r));
+  }
+  assert(p <= end);
+  (void)end;
+  return out;
+}
+
+struct GetDataMsg {
+  FlowKey flow;
+  std::uint64_t rbase = 0;  ///< requester's registration (0 = virtual)
+  std::uint64_t rsize = 0;
+};
+
+struct DataArrivedMsg {
+  FlowKey flow;
+};
+
+template <typename T>
+std::vector<std::byte> pack_pod(const T& v) {
+  std::vector<std::byte> buf;
+  detail::append(buf, v);
+  return buf;
+}
+
+template <typename T>
+T unpack_pod(const void* msg, std::size_t size) {
+  assert(size >= sizeof(T));
+  (void)size;
+  T v;
+  std::memcpy(&v, msg, sizeof v);
+  return v;
+}
+
+}  // namespace amt::wire

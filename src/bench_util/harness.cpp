@@ -1,0 +1,160 @@
+#include "bench_util/harness.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "des/engine.hpp"
+#include "net/fabric.hpp"
+#include "amt/runtime.hpp"
+
+namespace bench {
+
+Reps Reps::from_env() {
+  Reps r;
+  if (const char* v = std::getenv("AMTLCE_REPS")) r.total = std::atoi(v);
+  if (const char* v = std::getenv("AMTLCE_WARMUP")) r.warmup = std::atoi(v);
+  if (r.total < 1) r.total = 1;
+  if (r.warmup >= r.total) r.warmup = r.total - 1;
+  return r;
+}
+
+double mean_of(const Reps& reps, const std::function<double(int)>& measure) {
+  double sum = 0;
+  int counted = 0;
+  for (int i = 0; i < reps.total; ++i) {
+    const double v = measure(i);
+    if (i >= reps.warmup) {
+      sum += v;
+      ++counted;
+    }
+  }
+  return counted > 0 ? sum / counted : 0.0;
+}
+
+PingPongResult run_pingpong(ce::BackendKind backend,
+                            const PingPongOptions& opts,
+                            net::FabricConfig fabric, ce::CeConfig ce_cfg) {
+  des::Engine eng;
+  net::Fabric fab(eng, opts.nodes, fabric);
+  ce::CommWorld comm(fab, backend, ce_cfg);
+  PingPongGraph graph(opts);
+  amt::RuntimeConfig rt = amt::RuntimeConfig::light_costs();
+  // §6.1.2: 128 cores; one for the communication thread, one more for the
+  // LCI progress thread.
+  rt.workers = 128 - 1 -
+               (backend == ce::BackendKind::Lci && ce_cfg.progress_thread
+                    ? 1
+                    : 0);
+  amt::Runtime runtime(eng, fab, comm, graph, rt);
+  const des::Duration makespan = runtime.run();
+
+  PingPongResult res;
+  res.tts_s = des::to_seconds(makespan);
+  // Fragment data crosses the wire once per iteration after the first
+  // placement (iterations - 1 network crossings per fragment chain is
+  // conservative; the paper counts per-iteration volume, so do we).
+  const double bytes = static_cast<double>(opts.total_bytes) *
+                       opts.streams * (opts.iterations - 1);
+  res.gbit_per_s = bytes * 8.0 / res.tts_s / 1e9;
+  res.gflop_per_s = graph.total_flops() / res.tts_s / 1e9;
+  return res;
+}
+
+double netpipe_gbit(std::size_t fragment_bytes, std::size_t total_bytes,
+                    net::FabricConfig fabric) {
+  des::Engine eng;
+  net::Fabric fab(eng, 2, fabric);
+  const auto count = total_bytes / fragment_bytes;
+  des::Time last = 0;
+  std::uint64_t received = 0;
+  fab.nic(1).set_deliver_handler([&](net::Message&&) {
+    ++received;
+    last = eng.now();
+  });
+  // Small per-message host overhead, like the NetPIPE inner loop.
+  des::Time inject = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    eng.schedule_at(inject, [&fab, fragment_bytes]() {
+      net::Message m;
+      m.src = 0;
+      m.dst = 1;
+      m.wire_bytes = fragment_bytes + 64;
+      fab.nic(0).send(std::move(m));
+    });
+    inject += 500;  // 0.5 us software pacing per message
+  }
+  eng.run();
+  const double bytes =
+      static_cast<double>(fragment_bytes) * static_cast<double>(received);
+  return bytes * 8.0 / des::to_seconds(last) / 1e9;
+}
+
+Table::Table(std::string title, std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns)) {}
+
+void Table::add_row(const std::vector<std::string>& cells) {
+  rows_.push_back(cells);
+}
+
+Table::~Table() {
+  std::vector<std::size_t> width(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    width[c] = columns_[c].size();
+    for (const auto& row : rows_) {
+      if (c < row.size()) width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  std::printf("\n== %s ==\n", title_.c_str());
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    std::printf("%-*s  ", static_cast<int>(width[c]), columns_[c].c_str());
+  }
+  std::printf("\n");
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    std::printf("%s  ", std::string(width[c], '-').c_str());
+  }
+  std::printf("\n");
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      std::printf("%-*s  ", static_cast<int>(width[c]), row[c].c_str());
+    }
+    std::printf("\n");
+  }
+  std::fflush(stdout);
+
+  if (const char* prefix = std::getenv("AMTLCE_CSV")) {
+    std::string name = title_;
+    for (auto& ch : name) {
+      if (ch == ' ' || ch == '/' || ch == ',') ch = '_';
+    }
+    std::ofstream csv(std::string(prefix) + name + ".csv");
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      csv << columns_[c] << (c + 1 < columns_.size() ? "," : "\n");
+    }
+    for (const auto& row : rows_) {
+      for (std::size_t c = 0; c < row.size(); ++c) {
+        csv << row[c] << (c + 1 < row.size() ? "," : "\n");
+      }
+    }
+  }
+}
+
+std::string fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string human_bytes(std::size_t bytes) {
+  char buf[64];
+  if (bytes >= (1ull << 20)) {
+    std::snprintf(buf, sizeof buf, "%.5g MiB",
+                  static_cast<double>(bytes) / (1 << 20));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.5g KiB",
+                  static_cast<double>(bytes) / (1 << 10));
+  }
+  return buf;
+}
+
+}  // namespace bench

@@ -1,0 +1,66 @@
+// Benchmark harness shared by the figure-reproduction binaries.
+//
+// Methodology follows paper §6.1.3: each measurement runs several
+// executions in succession, discards the first (warm-up) ones, and
+// reports the mean of the rest.  In a deterministic simulation repeats
+// differ only via the seed, so the defaults are lighter than the paper's
+// 18/3 — override with AMTLCE_REPS / AMTLCE_WARMUP env vars to match.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ce/world.hpp"
+#include "net/config.hpp"
+#include "bench_util/pingpong_graph.hpp"
+
+namespace bench {
+
+/// Repetition policy (env-overridable: AMTLCE_REPS, AMTLCE_WARMUP).
+struct Reps {
+  int total = 3;
+  int warmup = 1;
+  static Reps from_env();
+};
+
+/// Mean over repeated measurements with warm-up discard.
+double mean_of(const Reps& reps, const std::function<double(int)>& measure);
+
+struct PingPongResult {
+  double gbit_per_s = 0;   ///< fragment payload bandwidth
+  double gflop_per_s = 0;  ///< task-body compute rate (overlap benchmark)
+  double tts_s = 0;
+};
+
+/// Runs the §6.2/§6.3 ping-pong graph on a fresh 2..N-node cluster.
+PingPongResult run_pingpong(ce::BackendKind backend,
+                            const PingPongOptions& opts,
+                            net::FabricConfig fabric = net::expanse_config(),
+                            ce::CeConfig ce_cfg = {});
+
+/// Hardware-only ping-pong ceiling (the NetPIPE role): windowed raw
+/// fabric transfers of `fragment` bytes, no runtime, no backend.
+double netpipe_gbit(std::size_t fragment_bytes,
+                    std::size_t total_bytes = 256ull << 20,
+                    net::FabricConfig fabric = net::expanse_config());
+
+/// Aligned table output: header once, then add_row per line; also emits
+/// a CSV copy next to stdout when AMTLCE_CSV is set to a path prefix.
+class Table {
+ public:
+  Table(std::string title, std::vector<std::string> columns);
+  void add_row(const std::vector<std::string>& cells);
+  ~Table();
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+std::string fmt(double v, int precision = 2);
+std::string human_bytes(std::size_t bytes);
+
+}  // namespace bench

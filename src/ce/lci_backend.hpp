@@ -1,0 +1,159 @@
+// The LCI backend of the PaRSEC communication engine (paper §5.3).
+//
+// Mechanisms reproduced:
+//   * A dedicated progress thread runs LCI_progress: it drains hardware
+//     completions, matches Direct transfers, and runs handler functions —
+//     fully decoupled from callback execution (§5.3.1).  Disable it with
+//     CeConfig::progress_thread = false (ablation: progress then happens
+//     inside progress() on the communication thread, MPI-style).
+//   * Active-message tags live in a hash table mapping tag -> callback
+//     handle; registration is a table insert, no receives posted (§5.3.2).
+//   * send_am picks the Immediate or Buffered protocol by size; receive
+//     buffers are dynamically allocated at the target (§5.3.2).
+//   * put() sends a handshake (Immediate/Buffered by size) on a
+//     specialized path that bypasses the AM hash lookup, then moves data
+//     with the Direct protocol.  Small data rides inside the handshake
+//     (the eager-data optimization) and completes locally at once
+//     (§5.3.3).
+//   * The handshake handler posts the matching Direct receive from the
+//     progress thread; when LCI returns Retry (resource pressure), the
+//     receive is delegated to the communication thread (§5.3.3).
+//   * Completion callbacks are queued as handles into two FIFO queues (AM
+//     vs bulk data); progress() takes up to 5 AM handles, then all bulk
+//     handles, looping until both are empty (§5.3.4).
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "ce/comm_engine.hpp"
+#include "des/poll_loop.hpp"
+#include "des/sim_thread.hpp"
+#include "mlci/lci.hpp"
+
+namespace ce {
+
+class LciBackend final : public CommEngine {
+ public:
+  /// `progress_core` names the simulated core for the progress thread; it
+  /// is created only when cfg.progress_thread is set.
+  LciBackend(mlci::Device& device, des::Engine& engine, CeConfig cfg = {});
+  ~LciBackend() override;
+
+  int rank() const override { return dev_.rank(); }
+  int size() const override;
+
+  void tag_reg(Tag tag, AmCallback cb, void* cb_data,
+               std::size_t max_len) override;
+  MemReg mem_reg(void* mem, std::size_t size) override;
+  int send_am(Tag tag, int remote, const void* msg,
+              std::size_t size) override;
+  int put(const MemReg& lreg, std::ptrdiff_t ldispl, const MemReg& rreg,
+          std::ptrdiff_t rdispl, std::size_t size, int remote,
+          OnesidedCallback l_cb, void* l_cb_data, Tag r_tag,
+          const void* r_cb_data, std::size_t r_cb_data_size) override;
+  int progress() override;
+  bool idle() const override;
+  void set_wake_callback(std::function<void()> fn) override;
+  const CeStats& stats() const override { return stats_; }
+
+  /// The progress thread (null when disabled) — exposed so experiments can
+  /// read its utilization.
+  des::SimThread* progress_thread() { return progress_thread_.get(); }
+
+ private:
+  struct AmTagInfo {
+    AmCallback cb;
+    void* cb_data = nullptr;
+    std::size_t max_len = 0;
+  };
+
+  /// Callback handle: filled by the progress thread, consumed by the
+  /// communication thread through the FIFO queues (§5.3.2/§5.3.4).
+  struct AmHandle {
+    Tag tag = 0;
+    int src = -1;
+    net::PayloadPtr payload;
+    std::size_t size = 0;
+  };
+  struct DataHandle {
+    enum class Kind { LocalDone, RemoteDone };
+    Kind kind = Kind::LocalDone;
+    // LocalDone
+    OnesidedCallback l_cb;
+    void* l_cb_data = nullptr;
+    MemReg lreg, rreg;
+    std::ptrdiff_t ldispl = 0, rdispl = 0;
+    std::size_t size = 0;
+    int remote = -1;
+    // RemoteDone
+    Tag r_tag = 0;
+    std::vector<std::byte> r_cb_data;
+    int origin = -1;
+  };
+  /// A Direct receive that hit Retry on the progress thread and was
+  /// delegated to the communication thread.
+  struct PendingRecv {
+    int src = -1;
+    std::uint64_t data_tag = 0;
+    void* dst = nullptr;
+    std::size_t size = 0;
+    DataHandle remote_done;  ///< completion pushed when the data lands
+  };
+  /// An AM or handshake whose send hit Retry (pool exhaustion).
+  struct PendingSend {
+    int remote = -1;
+    Tag wire_tag = 0;
+    std::vector<std::byte> body;
+  };
+  /// A Direct data send (or native put) that hit Retry.
+  struct PendingDataSend {
+    int remote = -1;
+    std::uint64_t data_tag = 0;
+    const void* src = nullptr;
+    std::size_t size = 0;
+    DataHandle local_done;
+    // Native-put fields (cfg.native_put).
+    bool native = false;
+    std::uint64_t remote_base = 0;
+    std::vector<std::byte> imm;
+  };
+
+  void on_am_arrival(mlci::Request&& req);      // progress-thread context
+  void handle_handshake(mlci::Request&& req);   // progress-thread context
+  bool post_data_recv(const PendingRecv& pr);   // false => Retry
+  bool start_data_send(const PendingDataSend& ps);  // false => Retry
+  int send_wire_am(int remote, Tag wire_tag, const void* body,
+                   std::size_t size);           // Immediate/Buffered by size
+  void dispatch_data_handle(DataHandle&& h);
+  void wake_comm_thread();
+  int drain_retries();
+  bool has_retries() const {
+    return !retry_sends_.empty() || !retry_recvs_.empty() ||
+           !retry_data_sends_.empty();
+  }
+
+  mlci::Device& dev_;
+  des::Engine& eng_;
+  CeConfig cfg_;
+  CeStats stats_;
+  std::unordered_map<Tag, AmTagInfo> tags_;
+
+  std::deque<AmHandle> am_fifo_;
+  std::deque<DataHandle> data_fifo_;
+  std::deque<PendingRecv> retry_recvs_;
+  std::deque<PendingSend> retry_sends_;
+  std::deque<PendingDataSend> retry_data_sends_;
+
+  std::unique_ptr<des::SimThread> progress_thread_;
+  std::unique_ptr<des::PollLoop> progress_loop_;
+  std::uint64_t next_data_tag_;
+  std::uint64_t outstanding_direct_ = 0;  ///< sends with pending local done
+  std::function<void()> wake_;
+};
+
+}  // namespace ce

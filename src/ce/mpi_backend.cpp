@@ -1,0 +1,251 @@
+#include "ce/mpi_backend.hpp"
+
+#include <cassert>
+#include <cstring>
+
+#include "ce/put_protocol.hpp"
+
+namespace ce {
+namespace {
+
+/// Internal AM tag carrying put handshakes.
+constexpr Tag kHandshakeTag = 0xFFFF'FFFF'FFFF'0001ULL;
+/// Data-transfer tags live in their own range; unique per origin.
+constexpr Tag kDataTagBase = 0x8000'0000'0000'0000ULL;
+
+}  // namespace
+
+MpiBackend::MpiBackend(mmpi::Rank& rank, CeConfig cfg)
+    : rank_(rank), cfg_(cfg), next_data_tag_(kDataTagBase) {
+  // The handshake handler is itself a registered active message.
+  tag_reg(
+      kHandshakeTag,
+      [](CommEngine& ce, Tag, const void* msg, std::size_t size, int src,
+         void* cb_data) {
+        static_cast<MpiBackend*>(cb_data)->handle_handshake(msg, size, src);
+        (void)ce;
+      },
+      this, sizeof(PutHandshake) + cfg_.max_am_size);
+}
+
+MpiBackend::~MpiBackend() { rank_.set_event_notifier(nullptr); }
+
+void MpiBackend::set_wake_callback(std::function<void()> fn) {
+  wake_ = std::move(fn);
+  rank_.set_event_notifier(wake_);
+}
+
+void MpiBackend::tag_reg(Tag tag, AmCallback cb, void* cb_data,
+                         std::size_t max_len) {
+  assert(!tags_.contains(tag) && "tag registered twice");
+  tags_.emplace(tag, AmTagInfo{std::move(cb), cb_data, max_len});
+  // Five persistent wildcard receives per tag (§4.2.1).
+  for (int i = 0; i < cfg_.persistent_recvs_per_tag; ++i) {
+    Entry e;
+    e.kind = Entry::Kind::AmRecv;
+    e.am_tag = tag;
+    e.buffer = std::make_shared<std::vector<std::byte>>(max_len);
+    e.req = rank_.recv_init(e.buffer->data(), max_len, mmpi::kAnySource, tag);
+    rank_.start(e.req);
+    entries_.push_back(std::move(e));
+  }
+}
+
+MemReg MpiBackend::mem_reg(void* mem, std::size_t size) {
+  return MemReg{rank(), mem, size};
+}
+
+int MpiBackend::send_am(Tag tag, int remote, const void* msg,
+                        std::size_t size) {
+  assert(tags_.contains(tag) && "send_am on unregistered tag");
+  assert(size <= tags_.at(tag).max_len);
+  // Blocking eager MPI_Send with the registered tag (§4.2.1).
+  rank_.send(msg, size, remote, tag);
+  ++stats_.ams_sent;
+  return 0;
+}
+
+int MpiBackend::data_entries_active() const {
+  int n = 0;
+  for (const Entry& e : entries_) {
+    if (e.kind != Entry::Kind::AmRecv) ++n;
+  }
+  return n;
+}
+
+int MpiBackend::put(const MemReg& lreg, std::ptrdiff_t ldispl,
+                    const MemReg& rreg, std::ptrdiff_t rdispl,
+                    std::size_t size, int remote, OnesidedCallback l_cb,
+                    void* l_cb_data, Tag r_tag, const void* r_cb_data,
+                    std::size_t r_cb_data_size) {
+  ++stats_.puts_started;
+  const std::uint64_t data_tag = next_data_tag_++;
+
+  // Handshake first: tells the target to post the matching receive.
+  PutHandshake h;
+  h.rbase = reinterpret_cast<std::uint64_t>(rreg.base);
+  h.rdispl = rdispl;
+  h.size = size;
+  h.r_tag = r_tag;
+  h.data_tag = data_tag;
+  h.r_cb_size = static_cast<std::uint32_t>(r_cb_data_size);
+  const auto buf = pack_handshake(h, r_cb_data, nullptr, 0);
+  rank_.send(buf.data(), buf.size(), remote, kHandshakeTag);
+
+  Entry e;
+  e.kind = Entry::Kind::DataSend;
+  e.l_cb = std::move(l_cb);
+  e.l_cb_data = l_cb_data;
+  e.lreg = lreg;
+  e.rreg = rreg;
+  e.ldispl = ldispl;
+  e.rdispl = rdispl;
+  e.size = size;
+  e.remote = remote;
+  e.data_tag = data_tag;
+
+  if (data_entries_active() < cfg_.max_concurrent_transfers) {
+    start_data_send(std::move(e));
+  } else {
+    // No space in the global array: defer posting the send (§4.2.2).
+    ++stats_.puts_deferred;
+    pending_.push_back(Pending{Pending::What::StartSend, std::move(e)});
+  }
+  return 0;
+}
+
+void MpiBackend::start_data_send(Entry&& e) {
+  const void* src = nullptr;
+  if (e.lreg.base != nullptr) {
+    src = static_cast<const std::byte*>(e.lreg.base) + e.ldispl;
+  }
+  e.req = rank_.isend(src, e.size, e.remote, e.data_tag);
+  entries_.push_back(std::move(e));
+}
+
+void MpiBackend::handle_handshake(const void* msg, std::size_t size,
+                                  int src) {
+  const auto v = HandshakeView::parse(msg, size);
+  Entry e;
+  e.kind = Entry::Kind::DataRecv;
+  e.r_tag = v.hdr.r_tag;
+  if (v.hdr.r_cb_size > 0) {
+    e.r_cb_data.assign(v.r_cb_data, v.r_cb_data + v.hdr.r_cb_size);
+  }
+  e.origin = src;
+  e.size = static_cast<std::size_t>(v.hdr.size);
+  void* dst = nullptr;
+  if (v.hdr.rbase != 0) {
+    dst = reinterpret_cast<std::byte*>(v.hdr.rbase) + v.hdr.rdispl;
+  }
+  // The receive is posted either way; without array space the request is
+  // "dynamically allocated" and not polled until promoted (§4.2.2).
+  e.req = rank_.irecv(dst, e.size, src, v.hdr.data_tag);
+  if (data_entries_active() < cfg_.max_concurrent_transfers) {
+    entries_.push_back(std::move(e));
+  } else {
+    ++stats_.recvs_dynamic;
+    pending_.push_back(Pending{Pending::What::PromoteRecv, std::move(e)});
+  }
+}
+
+void MpiBackend::drain_pending() {
+  while (!pending_.empty() &&
+         data_entries_active() < cfg_.max_concurrent_transfers) {
+    Pending p = std::move(pending_.front());
+    pending_.pop_front();
+    if (p.what == Pending::What::StartSend) {
+      start_data_send(std::move(p.entry));
+    } else {
+      entries_.push_back(std::move(p.entry));  // request already posted
+    }
+  }
+}
+
+void MpiBackend::run_am_callback(Entry& e, const mmpi::MpiStatus& st) {
+  des::charge_current(cfg_.dispatch_cost);
+  const auto it = tags_.find(e.am_tag);
+  assert(it != tags_.end());
+  ++stats_.ams_delivered;
+  it->second.cb(*this, e.am_tag, e.buffer->data(), st.count, st.source,
+                it->second.cb_data);
+}
+
+int MpiBackend::progress() {
+  int total = 0;
+  // §4.2.3: Testsome, execute callbacks, compact, start deferred work;
+  // repeat until a pass completes nothing.
+  for (;;) {
+    des::charge_current(cfg_.loop_cost);
+    std::vector<mmpi::RequestId> ids;
+    ids.reserve(entries_.size());
+    for (const Entry& e : entries_) ids.push_back(e.req);
+    const auto res = rank_.testsome(ids);
+    if (res.indices.empty()) break;
+
+    std::vector<bool> done(entries_.size(), false);
+    for (std::size_t k = 0; k < res.indices.size(); ++k) {
+      const std::size_t idx = res.indices[k];
+      const mmpi::MpiStatus& st = res.statuses[k];
+      // Callbacks may append entries (reentrant put/send_am): access by
+      // index, never hold references across a callback.
+      switch (entries_[idx].kind) {
+        case Entry::Kind::AmRecv: {
+          run_am_callback(entries_[idx], st);
+          rank_.start(entries_[idx].req);  // re-enable the persistent recv
+          break;
+        }
+        case Entry::Kind::DataSend: {
+          des::charge_current(cfg_.dispatch_cost);
+          Entry& e = entries_[idx];
+          ++stats_.puts_completed_local;
+          if (e.l_cb) {
+            e.l_cb(*this, e.lreg, e.ldispl, e.rreg, e.rdispl, e.size,
+                   e.remote, e.l_cb_data);
+          }
+          done[idx] = true;
+          break;
+        }
+        case Entry::Kind::DataRecv: {
+          des::charge_current(cfg_.dispatch_cost);
+          ++stats_.puts_completed_remote;
+          // Remote completion: invoke the AM callback registered for
+          // r_tag with the callback data from the handshake.
+          const Entry& e = entries_[idx];
+          const auto it = tags_.find(e.r_tag);
+          assert(it != tags_.end() && "put r_tag not registered");
+          it->second.cb(*this, e.r_tag, e.r_cb_data.data(),
+                        e.r_cb_data.size(), e.origin, it->second.cb_data);
+          done[idx] = true;
+          break;
+        }
+      }
+      ++total;
+    }
+
+    // Compact: completed non-persistent entries leave; free space is at
+    // the back.  Entries appended by callbacks (index >= done.size())
+    // are kept.
+    std::vector<Entry> kept;
+    kept.reserve(entries_.size());
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      if (i < done.size() && done[i]) continue;
+      kept.push_back(std::move(entries_[i]));
+    }
+    entries_ = std::move(kept);
+
+    drain_pending();
+  }
+  return total;
+}
+
+bool MpiBackend::idle() const {
+  if (!pending_.empty()) return false;
+  if (rank_.pending_incoming() > 0) return false;
+  for (const Entry& e : entries_) {
+    if (e.kind != Entry::Kind::AmRecv) return false;
+  }
+  return true;
+}
+
+}  // namespace ce

@@ -1,0 +1,31 @@
+#include "ce/world.hpp"
+
+#include "ce/lci_backend.hpp"
+#include "ce/mpi_backend.hpp"
+
+namespace ce {
+
+CommWorld::CommWorld(net::Fabric& fabric, BackendKind kind, CeConfig ce_cfg,
+                     mmpi::Config mpi_cfg, mlci::Config lci_cfg)
+    : kind_(kind) {
+  const int n = fabric.num_nodes();
+  engines_.reserve(static_cast<std::size_t>(n));
+  if (kind == BackendKind::Mpi) {
+    // PaRSEC sets mpi_assert_allow_overtaking (§4.2.2): it never relies on
+    // MPI message ordering.
+    mpi_cfg.allow_overtaking = true;
+    mpi_ = std::make_unique<mmpi::Mpi>(fabric, mpi_cfg);
+    for (int r = 0; r < n; ++r) {
+      engines_.push_back(
+          std::make_unique<MpiBackend>(mpi_->rank(r), ce_cfg));
+    }
+  } else {
+    lci_ = std::make_unique<mlci::Lci>(fabric, lci_cfg);
+    for (int r = 0; r < n; ++r) {
+      engines_.push_back(std::make_unique<LciBackend>(
+          lci_->device(r), fabric.engine(), ce_cfg));
+    }
+  }
+}
+
+}  // namespace ce

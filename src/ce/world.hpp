@@ -1,0 +1,48 @@
+// CommWorld: constructs one communication engine per simulated node over a
+// shared fabric, for either backend.  This is the object experiments and
+// the AMT runtime hold; it owns the underlying mmpi/mlci library instance.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "ce/comm_engine.hpp"
+#include "mlci/lci.hpp"
+#include "mmpi/mpi.hpp"
+#include "net/fabric.hpp"
+
+namespace ce {
+
+enum class BackendKind { Mpi, Lci };
+
+inline const char* backend_name(BackendKind k) {
+  return k == BackendKind::Mpi ? "Open MPI" : "LCI";
+}
+
+class CommWorld {
+ public:
+  CommWorld(net::Fabric& fabric, BackendKind kind, CeConfig ce_cfg = {},
+            mmpi::Config mpi_cfg = {}, mlci::Config lci_cfg = {});
+
+  BackendKind kind() const { return kind_; }
+  int size() const { return static_cast<int>(engines_.size()); }
+  CommEngine& engine(int node) {
+    return *engines_.at(static_cast<std::size_t>(node));
+  }
+
+  /// True when every engine is idle (global communication quiescence).
+  bool all_idle() const {
+    for (const auto& e : engines_) {
+      if (!e->idle()) return false;
+    }
+    return true;
+  }
+
+ private:
+  BackendKind kind_;
+  std::unique_ptr<mmpi::Mpi> mpi_;
+  std::unique_ptr<mlci::Lci> lci_;
+  std::vector<std::unique_ptr<CommEngine>> engines_;
+};
+
+}  // namespace ce

@@ -1,0 +1,138 @@
+// Minimal coroutine support over the DES engine.
+//
+// CoTask is a fire-and-forget coroutine used to express sequential
+// simulated-time flows (benchmark drivers, test scenarios) without hand
+// written state machines:
+//
+//   des::CoTask pingpong(des::Engine& eng) {
+//     co_await des::delay(eng, 5 * des::kMicrosecond);
+//     ...
+//   }
+//
+// Coroutines start eagerly and self-destroy at completion.  Awaitables:
+//   delay(engine, d)  — resume after d simulated nanoseconds
+//   SimEvent          — one-shot broadcast event; co_await until trigger()
+//   SimFuture<T>      — one-shot value; co_await yields the value
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <exception>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "des/engine.hpp"
+
+namespace des {
+
+/// Fire-and-forget coroutine handle.  The coroutine frame owns itself; the
+/// returned object is an inert token (keeps call sites explicit).
+struct CoTask {
+  struct promise_type {
+    CoTask get_return_object() { return {}; }
+    std::suspend_never initial_suspend() noexcept { return {}; }
+    std::suspend_never final_suspend() noexcept { return {}; }
+    void return_void() {}
+    void unhandled_exception() { std::terminate(); }
+  };
+};
+
+/// Awaitable that resumes the coroutine after `d` simulated nanoseconds.
+struct DelayAwaiter {
+  Engine& eng;
+  Duration d;
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> h) const {
+    eng.schedule_after(d, [h]() { h.resume(); });
+  }
+  void await_resume() const noexcept {}
+};
+
+inline DelayAwaiter delay(Engine& eng, Duration d) { return {eng, d}; }
+
+/// One-shot broadcast event.  Coroutines that co_await before trigger()
+/// suspend; trigger() resumes them all (in await order, via the event queue
+/// so resumption is not re-entrant).  Awaiting after trigger() is a no-op.
+class SimEvent {
+ public:
+  explicit SimEvent(Engine& eng) : eng_(eng) {}
+
+  void trigger() {
+    if (triggered_) return;
+    triggered_ = true;
+    for (auto h : waiters_) {
+      eng_.schedule_after(0, [h]() { h.resume(); });
+    }
+    waiters_.clear();
+  }
+
+  bool triggered() const { return triggered_; }
+
+  /// Registers a coroutine to resume on trigger (resumes via the event
+  /// queue immediately if already triggered).  Used by awaiters.
+  void add_waiter(std::coroutine_handle<> h) {
+    if (triggered_) {
+      eng_.schedule_after(0, [h]() { h.resume(); });
+    } else {
+      waiters_.push_back(h);
+    }
+  }
+
+  auto operator co_await() {
+    struct Awaiter {
+      SimEvent& ev;
+      bool await_ready() const noexcept { return ev.triggered_; }
+      void await_suspend(std::coroutine_handle<> h) {
+        ev.waiters_.push_back(h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this};
+  }
+
+ private:
+  Engine& eng_;
+  bool triggered_ = false;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+/// One-shot value channel: co_await yields the value once set_value() runs.
+/// Single producer; multiple awaiting consumers each receive a copy.
+template <typename T>
+class SimFuture {
+ public:
+  explicit SimFuture(Engine& eng) : ev_(eng) {}
+
+  void set_value(T v) {
+    assert(!value_.has_value() && "SimFuture set twice");
+    value_ = std::move(v);
+    ev_.trigger();
+  }
+
+  bool ready() const { return value_.has_value(); }
+
+  /// Value accessor once ready (for non-coroutine consumers).
+  const T& get() const {
+    assert(value_.has_value());
+    return *value_;
+  }
+
+  auto operator co_await() {
+    struct Awaiter {
+      SimFuture& f;
+      bool await_ready() const noexcept { return f.ready(); }
+      void await_suspend(std::coroutine_handle<> h) {
+        f.ev_.add_waiter(h);
+      }
+      T await_resume() const { return *f.value_; }
+    };
+    return Awaiter{*this};
+  }
+
+ private:
+  SimEvent ev_;
+  std::optional<T> value_;
+};
+
+}  // namespace des

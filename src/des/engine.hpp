@@ -1,0 +1,87 @@
+// The discrete-event simulation engine.
+//
+// One Engine instance owns simulated time for an entire simulated cluster.
+// All components (NICs, simulated threads, runtimes) schedule callbacks on
+// it; the engine fires them in (time, insertion) order.  The engine is
+// strictly single-(OS-)threaded: determinism comes from the total event
+// order, and "parallelism" is modeled, not real.
+#pragma once
+
+#include <cassert>
+#include <functional>
+#include <utility>
+
+#include "des/event_queue.hpp"
+#include "des/time.hpp"
+
+namespace des {
+
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Current simulated time.
+  Time now() const { return now_; }
+
+  /// Schedules `fn` at absolute time `t` (>= now()).
+  EventId schedule_at(Time t, std::function<void()> fn) {
+    assert(t >= now_ && "cannot schedule into the past");
+    return queue_.schedule(t, std::move(fn));
+  }
+
+  /// Schedules `fn` after `d` nanoseconds of simulated time.
+  EventId schedule_after(Duration d, std::function<void()> fn) {
+    assert(d >= 0);
+    return schedule_at(now_ + d, std::move(fn));
+  }
+
+  /// Cancels a pending event; returns false if already fired/cancelled.
+  bool cancel(EventId id) { return queue_.cancel(id); }
+
+  /// Fires the next event.  Returns false when no events remain.
+  bool step() {
+    if (queue_.empty()) return false;
+    auto fired = queue_.pop();
+    assert(fired.time >= now_);
+    now_ = fired.time;
+    ++events_fired_;
+    fired.fn();
+    return true;
+  }
+
+  /// Runs until the event queue drains.
+  void run() {
+    while (step()) {
+    }
+  }
+
+  /// Runs until the queue drains or simulated time would exceed `deadline`.
+  /// Events at exactly `deadline` still fire.
+  void run_until(Time deadline) {
+    while (!queue_.empty() && queue_.next_time() <= deadline) {
+      step();
+    }
+    if (now_ < deadline) now_ = deadline;
+  }
+
+  /// Runs until `done` returns true (checked after each event) or the queue
+  /// drains.  Returns whether `done` was satisfied.
+  bool run_while_pending(const std::function<bool()>& done) {
+    while (!done()) {
+      if (!step()) return false;
+    }
+    return true;
+  }
+
+  std::size_t pending_events() const { return queue_.size(); }
+  std::uint64_t events_fired() const { return events_fired_; }
+
+ private:
+  EventQueue queue_;
+  Time now_ = 0;
+  std::uint64_t events_fired_ = 0;
+};
+
+}  // namespace des

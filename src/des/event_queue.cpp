@@ -1,0 +1,47 @@
+#include "des/event_queue.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace des {
+
+EventId EventQueue::schedule(Time t, Callback fn) {
+  const EventId id = next_id_++;
+  heap_.push(Entry{t, next_seq_++, id});
+  callbacks_.emplace(id, std::move(fn));
+  ++live_count_;
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) {
+  const auto it = callbacks_.find(id);
+  if (it == callbacks_.end()) return false;
+  callbacks_.erase(it);
+  --live_count_;
+  return true;
+}
+
+void EventQueue::drop_dead_front() {
+  while (!heap_.empty() && !callbacks_.contains(heap_.top().id)) {
+    heap_.pop();
+  }
+}
+
+Time EventQueue::next_time() {
+  drop_dead_front();
+  return heap_.empty() ? kTimeNever : heap_.top().time;
+}
+
+EventQueue::Fired EventQueue::pop() {
+  drop_dead_front();
+  assert(!heap_.empty() && "pop() on empty EventQueue");
+  const Entry e = heap_.top();
+  heap_.pop();
+  auto it = callbacks_.find(e.id);
+  Fired fired{e.time, e.id, std::move(it->second)};
+  callbacks_.erase(it);
+  --live_count_;
+  return fired;
+}
+
+}  // namespace des

@@ -1,0 +1,70 @@
+// Cancellable time-ordered event queue.
+//
+// Events with equal timestamps fire in insertion order (FIFO), which the
+// rest of the simulator relies on for determinism.  Cancellation is O(1)
+// via tombstoning: cancelled entries stay in the heap and are skipped when
+// popped.  This suits the network model, which reschedules in-flight
+// transfer completions when link occupancy changes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "des/time.hpp"
+
+namespace des {
+
+/// Identifies a scheduled event; valid until the event fires or is cancelled.
+using EventId = std::uint64_t;
+inline constexpr EventId kInvalidEvent = 0;
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedules `fn` to fire at absolute time `t`.  `t` must not precede the
+  /// last popped event time (enforced by Engine, not here).
+  EventId schedule(Time t, Callback fn);
+
+  /// Cancels a pending event.  Returns false if the id is unknown or the
+  /// event already fired.
+  bool cancel(EventId id);
+
+  bool empty() const { return live_count_ == 0; }
+  std::size_t size() const { return live_count_; }
+
+  /// Time of the earliest pending event, or kTimeNever when empty.
+  Time next_time();
+
+  /// Pops and returns the earliest pending event.  Precondition: !empty().
+  struct Fired {
+    Time time;
+    EventId id;
+    Callback fn;
+  };
+  Fired pop();
+
+ private:
+  struct Entry {
+    Time time;
+    std::uint64_t seq;  // tie-break: FIFO among equal timestamps
+    EventId id;
+    bool operator>(const Entry& o) const {
+      if (time != o.time) return time > o.time;
+      return seq > o.seq;
+    }
+  };
+
+  void drop_dead_front();
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::unordered_map<EventId, Callback> callbacks_;
+  std::uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+  std::size_t live_count_ = 0;
+};
+
+}  // namespace des

@@ -1,0 +1,72 @@
+// PollLoop: a polling loop running on a SimThread.
+//
+// Real progress/communication threads spin, polling for work.  A naive
+// simulated spin loop would generate events forever and the simulation
+// would never drain, so PollLoop is event-driven: while the body reports
+// work it re-posts itself (paying `iteration_cost` per pass, like a real
+// poll); when the body reports idle the loop parks until wake() is called
+// (by a NIC delivery hook, a command enqueue, ...).  This preserves the
+// timing behaviour of busy polling — a parked thread resumes immediately
+// on wake — without the event-queue livelock.
+#pragma once
+
+#include <functional>
+#include <utility>
+
+#include "des/sim_thread.hpp"
+#include "des/time.hpp"
+
+namespace des {
+
+class PollLoop {
+ public:
+  /// `body` returns true when it did work (keeps the loop hot).
+  PollLoop(SimThread& thread, Duration iteration_cost,
+           std::function<bool()> body)
+      : thread_(thread), iteration_cost_(iteration_cost),
+        body_(std::move(body)) {}
+  PollLoop(const PollLoop&) = delete;
+  PollLoop& operator=(const PollLoop&) = delete;
+
+  /// Begins polling (idempotent).
+  void start() {
+    started_ = true;
+    arm();
+  }
+
+  /// Stops the loop permanently (pending iteration becomes a no-op).
+  void stop() { started_ = false; }
+
+  /// Signals that work may be available; resumes a parked loop.
+  /// Safe to call from any simulation context, including the body.
+  void wake() {
+    wake_pending_ = true;
+    if (started_) arm();
+  }
+
+  bool parked() const { return started_ && !armed_; }
+
+ private:
+  void arm() {
+    if (armed_ || !started_) return;
+    armed_ = true;
+    thread_.post_work(iteration_cost_, [this]() { iterate(); });
+  }
+
+  void iterate() {
+    armed_ = false;
+    if (!started_) return;
+    wake_pending_ = false;
+    const bool worked = body_();
+    if (worked || wake_pending_) arm();
+  }
+
+  SimThread& thread_;
+  Duration iteration_cost_;
+  std::function<bool()> body_;
+  bool started_ = false;
+  bool armed_ = false;
+  bool wake_pending_ = false;
+};
+
+}  // namespace des

@@ -1,0 +1,77 @@
+// Deterministic random-number generation for the simulator.
+//
+// xoshiro256** seeded via SplitMix64.  Every stochastic component takes an
+// explicit seed so experiments are bit-reproducible; derive_seed() gives
+// decorrelated per-component streams from one experiment seed.
+#pragma once
+
+#include <cstdint>
+
+namespace des {
+
+/// SplitMix64 step — used for seeding and for cheap seed derivation.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// Derives a decorrelated child seed from (seed, stream-id).
+constexpr std::uint64_t derive_seed(std::uint64_t seed, std::uint64_t stream) {
+  std::uint64_t s = seed ^ (0xA0761D6478BD642FULL * (stream + 1));
+  splitmix64(s);
+  return splitmix64(s);
+}
+
+/// xoshiro256** 1.0 (Blackman & Vigna), public-domain algorithm.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x853C49E6748FEA9BULL) {
+    std::uint64_t sm = seed;
+    for (auto& word : s_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n); n must be > 0.  Uses rejection to avoid
+  /// modulo bias.
+  std::uint64_t below(std::uint64_t n) {
+    const std::uint64_t threshold = (0 - n) % n;
+    for (;;) {
+      const std::uint64_t r = (*this)();
+      if (r >= threshold) return r % n;
+    }
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4];
+};
+
+}  // namespace des

@@ -1,0 +1,128 @@
+// SimThread: a serialized executor modeling one pinned OS thread.
+//
+// PaRSEC's communication thread, the LCI backend's progress thread, and
+// worker threads are all SimThreads.  Work items run one at a time; each
+// occupies the thread for a modeled duration, so a slow active-message
+// callback delays everything queued behind it — the §4.3 bottleneck the
+// paper describes emerges directly from this serialization.
+//
+// An item's function executes when its modeled duration elapses.  Code
+// inside an item may call charge(extra) when the cost depends on what the
+// item discovered (e.g. per-message matching cost); the extra time delays
+// subsequent items and counts toward busy-time statistics.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "des/engine.hpp"
+#include "des/time.hpp"
+
+namespace des {
+
+class SimThread {
+ public:
+  SimThread(Engine& engine, std::string name)
+      : eng_(engine), name_(std::move(name)), created_at_(engine.now()) {}
+  SimThread(const SimThread&) = delete;
+  SimThread& operator=(const SimThread&) = delete;
+
+  Engine& engine() { return eng_; }
+  const std::string& name() const { return name_; }
+
+  /// Enqueues a work item that occupies this thread for `cost` and then
+  /// executes `fn`.  Items run in FIFO order.
+  void post_work(Duration cost, std::function<void()> fn) {
+    assert(cost >= 0);
+    queue_.push_back(Item{cost, std::move(fn)});
+    pump();
+  }
+
+  /// Enqueues a zero-cost item (bookkeeping that is modeled as free).
+  void post(std::function<void()> fn) { post_work(0, std::move(fn)); }
+
+  /// From inside a running item: occupies the thread for `extra` more time
+  /// before the next item may start.
+  void charge(Duration extra) {
+    assert(in_item_ && "charge() outside of a work item");
+    assert(extra >= 0);
+    extra_charge_ += extra;
+  }
+
+  /// The SimThread whose work item is currently executing, or nullptr when
+  /// the engine is running a non-thread event (NIC delivery, test driver).
+  /// Libraries use this to charge per-call CPU costs to their caller.
+  static SimThread* current() { return current_; }
+
+  /// True while a work item body is executing (or scheduled to finish later
+  /// than now) — i.e. the modeled thread is occupied.
+  bool busy() const { return in_item_ || dispatch_pending_ || !queue_.empty(); }
+
+  /// Earliest time a newly posted item could start executing.
+  Time free_at() const { return free_at_; }
+
+  std::size_t queued_items() const { return queue_.size(); }
+
+  /// Total modeled time this thread spent executing items.
+  Duration busy_time() const { return busy_total_; }
+
+  /// Fraction of lifetime spent busy; 0 if no time has elapsed.
+  double utilization() const {
+    const Duration alive = eng_.now() - created_at_;
+    if (alive <= 0) return 0.0;
+    return static_cast<double>(busy_total_) / static_cast<double>(alive);
+  }
+
+ private:
+  struct Item {
+    Duration cost;
+    std::function<void()> fn;
+  };
+
+  void pump() {
+    if (dispatch_pending_ || in_item_ || queue_.empty()) return;
+    dispatch_pending_ = true;
+    Item item = std::move(queue_.front());
+    queue_.pop_front();
+    const Time start = std::max(eng_.now(), free_at_);
+    eng_.schedule_at(start + item.cost,
+                     [this, cost = item.cost, fn = std::move(item.fn)]() {
+                       dispatch_pending_ = false;
+                       in_item_ = true;
+                       extra_charge_ = 0;
+                       SimThread* const prev = current_;
+                       current_ = this;
+                       fn();
+                       current_ = prev;
+                       in_item_ = false;
+                       free_at_ = eng_.now() + extra_charge_;
+                       busy_total_ += cost + extra_charge_;
+                       pump();
+                     });
+  }
+
+  Engine& eng_;
+  std::string name_;
+  std::deque<Item> queue_;
+  Time free_at_ = 0;
+  Time created_at_ = 0;
+  Duration busy_total_ = 0;
+  Duration extra_charge_ = 0;
+  bool in_item_ = false;
+  bool dispatch_pending_ = false;
+
+  inline static SimThread* current_ = nullptr;
+};
+
+/// Charges `cost` to the currently executing SimThread, if any.  Calls made
+/// from outside any simulated thread (tests, drivers) are free — convenient
+/// and harmless since such callers model no CPU.
+inline void charge_current(Duration cost) {
+  if (SimThread* t = SimThread::current()) t->charge(cost);
+}
+
+}  // namespace des

@@ -1,0 +1,22 @@
+#include "des/time.hpp"
+
+#include <cstdio>
+
+namespace des {
+
+std::string format_time(Time t) {
+  char buf[64];
+  const double ns = static_cast<double>(t);
+  if (t < 10 * kMicrosecond) {
+    std::snprintf(buf, sizeof buf, "%lld ns", static_cast<long long>(t));
+  } else if (t < 10 * kMillisecond) {
+    std::snprintf(buf, sizeof buf, "%.3f us", ns / 1e3);
+  } else if (t < 10 * kSecond) {
+    std::snprintf(buf, sizeof buf, "%.3f ms", ns / 1e6);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.3f s", ns / 1e9);
+  }
+  return buf;
+}
+
+}  // namespace des

@@ -1,0 +1,68 @@
+#include "hicma/driver.hpp"
+
+#include <algorithm>
+
+#include "des/engine.hpp"
+#include "net/fabric.hpp"
+#include "amt/runtime.hpp"
+
+namespace hicma {
+
+int workers_for(int cores, int nodes, ce::BackendKind backend,
+                bool progress_thread) {
+  if (nodes == 1) return cores;  // single-node: all cores compute (§6.1.2)
+  int w = cores - 1;  // communication thread
+  if (backend == ce::BackendKind::Lci && progress_thread) --w;
+  return std::max(1, w);
+}
+
+ExperimentResult run_tlr_cholesky(const ExperimentConfig& cfg) {
+  des::Engine eng;
+  net::Fabric fabric(eng, cfg.nodes, cfg.fabric);
+  ce::CommWorld comm(fabric, cfg.backend, cfg.ce, cfg.mpi, cfg.lci);
+
+  amt::RuntimeConfig rt = cfg.rt;
+  rt.workers = cfg.workers_override > 0
+                   ? cfg.workers_override
+                   : workers_for(cfg.cores_per_node, cfg.nodes, cfg.backend,
+                                 cfg.ce.progress_thread);
+  rt.mt_activate = cfg.mt_activate;
+
+  TlrCholeskyGraph graph(cfg.tlr, cfg.nodes);
+  amt::Runtime runtime(eng, fabric, comm, graph, rt);
+  const des::Duration makespan = runtime.run();
+
+  ExperimentResult res;
+  res.tts_s = des::to_seconds(makespan);
+  res.runtime_stats = runtime.aggregate_stats();
+  res.latency = res.runtime_stats.latency;
+  res.tasks = runtime.total_tasks_executed();
+  const double core_time = des::to_seconds(makespan) *
+                           static_cast<double>(rt.workers) *
+                           static_cast<double>(cfg.nodes);
+  res.worker_utilization =
+      core_time > 0
+          ? des::to_seconds(runtime.total_worker_busy()) / core_time
+          : 0.0;
+  for (int n = 0; n < cfg.nodes; ++n) {
+    const ce::CeStats& s = comm.engine(n).stats();
+    res.ce_stats.ams_sent += s.ams_sent;
+    res.ce_stats.ams_delivered += s.ams_delivered;
+    res.ce_stats.puts_started += s.puts_started;
+    res.ce_stats.puts_completed_local += s.puts_completed_local;
+    res.ce_stats.puts_completed_remote += s.puts_completed_remote;
+    res.ce_stats.puts_deferred += s.puts_deferred;
+    res.ce_stats.recvs_dynamic += s.recvs_dynamic;
+    res.ce_stats.retries_delegated += s.retries_delegated;
+    res.ce_stats.eager_puts += s.eager_puts;
+  }
+  res.fabric_messages = fabric.total_messages();
+  res.fabric_bytes = fabric.total_bytes();
+  res.mean_rank = graph.mean_offdiag_rank();
+  if (cfg.tlr.mode == TlrOptions::Mode::Real) {
+    res.residual = graph.verify();
+  }
+  return res;
+}
+
+}  // namespace hicma

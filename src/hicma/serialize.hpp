@@ -1,0 +1,77 @@
+// Matrix (de)serialization for real-numerics dataflow: tile factors move
+// through the runtime as DataCopy byte buffers.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+
+#include "amt/task_graph.hpp"
+#include "linalg/lowrank.hpp"
+#include "linalg/matrix.hpp"
+
+namespace hicma {
+
+inline amt::DataCopyPtr pack_matrix(const linalg::Matrix& m) {
+  const std::size_t bytes =
+      2 * sizeof(std::int32_t) + m.size_bytes();
+  auto copy = amt::DataCopy::real(bytes);
+  auto* p = copy->bytes->data();
+  const std::int32_t rows = m.rows(), cols = m.cols();
+  std::memcpy(p, &rows, sizeof rows);
+  std::memcpy(p + sizeof rows, &cols, sizeof cols);
+  std::memcpy(p + 2 * sizeof rows, m.data(), m.size_bytes());
+  return copy;
+}
+
+inline amt::DataCopyPtr pack_lr(const linalg::LrTile& t) {
+  const std::size_t bytes =
+      4 * sizeof(std::int32_t) + t.u.size_bytes() + t.v.size_bytes();
+  auto copy = amt::DataCopy::real(bytes);
+  auto* p = copy->bytes->data();
+  auto put = [&p](const linalg::Matrix& m) {
+    const std::int32_t rows = m.rows(), cols = m.cols();
+    std::memcpy(p, &rows, sizeof rows);
+    p += sizeof rows;
+    std::memcpy(p, &cols, sizeof cols);
+    p += sizeof cols;
+    std::memcpy(p, m.data(), m.size_bytes());
+    p += m.size_bytes();
+  };
+  put(t.u);
+  put(t.v);
+  return copy;
+}
+
+inline linalg::LrTile unpack_lr(const amt::DataCopyPtr& d) {
+  assert(d && d->bytes);
+  const auto* p = d->bytes->data();
+  auto get = [&p]() {
+    std::int32_t rows = 0, cols = 0;
+    std::memcpy(&rows, p, sizeof rows);
+    p += sizeof rows;
+    std::memcpy(&cols, p, sizeof cols);
+    p += sizeof cols;
+    linalg::Matrix m(rows, cols);
+    std::memcpy(m.data(), p, m.size_bytes());
+    p += m.size_bytes();
+    return m;
+  };
+  linalg::LrTile t;
+  t.u = get();
+  t.v = get();
+  return t;
+}
+
+inline linalg::Matrix unpack_matrix(const amt::DataCopyPtr& d) {
+  assert(d && d->bytes);
+  const auto* p = d->bytes->data();
+  std::int32_t rows = 0, cols = 0;
+  std::memcpy(&rows, p, sizeof rows);
+  std::memcpy(&cols, p + sizeof rows, sizeof cols);
+  linalg::Matrix m(rows, cols);
+  std::memcpy(m.data(), p + 2 * sizeof rows, m.size_bytes());
+  return m;
+}
+
+}  // namespace hicma

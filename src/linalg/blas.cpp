@@ -1,0 +1,179 @@
+#include "linalg/blas.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace linalg {
+
+double frobenius_norm(const Matrix& a) {
+  double s = 0;
+  for (int j = 0; j < a.cols(); ++j) {
+    for (int i = 0; i < a.rows(); ++i) s += a(i, j) * a(i, j);
+  }
+  return std::sqrt(s);
+}
+
+double frobenius_diff(const Matrix& a, const Matrix& b) {
+  assert(a.rows() == b.rows() && a.cols() == b.cols());
+  double s = 0;
+  for (int j = 0; j < a.cols(); ++j) {
+    for (int i = 0; i < a.rows(); ++i) {
+      const double d = a(i, j) - b(i, j);
+      s += d * d;
+    }
+  }
+  return std::sqrt(s);
+}
+
+void gemm(double alpha, const Matrix& a, Trans ta, const Matrix& b, Trans tb,
+          double beta, Matrix& c) {
+  const int m = c.rows();
+  const int n = c.cols();
+  const int ka = ta == Trans::No ? a.cols() : a.rows();
+  const int kb = tb == Trans::No ? b.rows() : b.cols();
+  assert(ka == kb);
+  assert((ta == Trans::No ? a.rows() : a.cols()) == m);
+  assert((tb == Trans::No ? b.cols() : b.rows()) == n);
+  const int kk = ka;
+
+  if (beta != 1.0) {
+    for (int j = 0; j < n; ++j) {
+      for (int i = 0; i < m; ++i) c(i, j) *= beta;
+    }
+  }
+  auto av = [&](int i, int l) { return ta == Trans::No ? a(i, l) : a(l, i); };
+  auto bv = [&](int l, int j) { return tb == Trans::No ? b(l, j) : b(j, l); };
+  for (int j = 0; j < n; ++j) {
+    for (int l = 0; l < kk; ++l) {
+      const double blj = alpha * bv(l, j);
+      if (blj == 0.0) continue;
+      for (int i = 0; i < m; ++i) c(i, j) += av(i, l) * blj;
+    }
+  }
+}
+
+void syrk_lower(double alpha, const Matrix& a, double beta, Matrix& c) {
+  const int n = c.rows();
+  assert(c.cols() == n && a.rows() == n);
+  const int k = a.cols();
+  for (int j = 0; j < n; ++j) {
+    for (int i = j; i < n; ++i) {
+      double s = 0;
+      for (int l = 0; l < k; ++l) s += a(i, l) * a(j, l);
+      const double v = beta * c(i, j) + alpha * s;
+      c(i, j) = v;
+      c(j, i) = v;  // keep the mirror coherent
+    }
+  }
+}
+
+void trsm_left_lower(const Matrix& l, Matrix& b) {
+  const int n = b.rows();
+  assert(l.rows() == n && l.cols() == n);
+  for (int j = 0; j < b.cols(); ++j) {
+    for (int i = 0; i < n; ++i) {
+      double s = b(i, j);
+      for (int p = 0; p < i; ++p) s -= l(i, p) * b(p, j);
+      b(i, j) = s / l(i, i);
+    }
+  }
+}
+
+void trsm_right_lower_trans(const Matrix& l, Matrix& b) {
+  // X L^T = B  =>  column sweep: x_j = (b_j - sum_{p<j} x_p * L(j,p)) / L(j,j)
+  const int n = b.cols();
+  assert(l.rows() == n && l.cols() == n);
+  for (int j = 0; j < n; ++j) {
+    for (int i = 0; i < b.rows(); ++i) {
+      double s = b(i, j);
+      for (int p = 0; p < j; ++p) s -= b(i, p) * l(j, p);
+      b(i, j) = s / l(j, j);
+    }
+  }
+}
+
+bool potrf_lower(Matrix& a) {
+  const int n = a.rows();
+  assert(a.cols() == n);
+  for (int j = 0; j < n; ++j) {
+    double d = a(j, j);
+    for (int p = 0; p < j; ++p) d -= a(j, p) * a(j, p);
+    if (d <= 0.0 || !std::isfinite(d)) return false;
+    const double ljj = std::sqrt(d);
+    a(j, j) = ljj;
+    for (int i = j + 1; i < n; ++i) {
+      double s = a(i, j);
+      for (int p = 0; p < j; ++p) s -= a(i, p) * a(j, p);
+      a(i, j) = s / ljj;
+    }
+  }
+  // Clear the strictly upper triangle so A holds exactly L.
+  for (int j = 1; j < n; ++j) {
+    for (int i = 0; i < j; ++i) a(i, j) = 0.0;
+  }
+  return true;
+}
+
+void qr_thin(const Matrix& a, Matrix& q, Matrix& r) {
+  const int m = a.rows();
+  const int n = a.cols();
+  assert(m >= n);
+  // Householder factorization on a working copy.
+  Matrix w = a;
+  std::vector<std::vector<double>> vs;  // reflector vectors
+  vs.reserve(static_cast<std::size_t>(n));
+  for (int k = 0; k < n; ++k) {
+    double norm = 0;
+    for (int i = k; i < m; ++i) norm += w(i, k) * w(i, k);
+    norm = std::sqrt(norm);
+    std::vector<double> v(static_cast<std::size_t>(m - k), 0.0);
+    if (norm > 0.0) {
+      const double alpha = w(k, k) >= 0 ? -norm : norm;
+      v[0] = w(k, k) - alpha;
+      for (int i = k + 1; i < m; ++i) {
+        v[static_cast<std::size_t>(i - k)] = w(i, k);
+      }
+      double vnorm2 = 0;
+      for (double x : v) vnorm2 += x * x;
+      if (vnorm2 > 0) {
+        // Apply H = I - 2 v v^T / (v^T v) to the trailing block.
+        for (int j = k; j < n; ++j) {
+          double dot = 0;
+          for (int i = k; i < m; ++i) {
+            dot += v[static_cast<std::size_t>(i - k)] * w(i, j);
+          }
+          const double f = 2.0 * dot / vnorm2;
+          for (int i = k; i < m; ++i) {
+            w(i, j) -= f * v[static_cast<std::size_t>(i - k)];
+          }
+        }
+      }
+    }
+    vs.push_back(std::move(v));
+  }
+  r = Matrix(n, n);
+  for (int j = 0; j < n; ++j) {
+    for (int i = 0; i <= j; ++i) r(i, j) = w(i, j);
+  }
+  // Form thin Q by applying reflectors to the first n columns of I.
+  q = Matrix(m, n);
+  for (int j = 0; j < n; ++j) q(j, j) = 1.0;
+  for (int k = n - 1; k >= 0; --k) {
+    const auto& v = vs[static_cast<std::size_t>(k)];
+    double vnorm2 = 0;
+    for (double x : v) vnorm2 += x * x;
+    if (vnorm2 == 0) continue;
+    for (int j = 0; j < n; ++j) {
+      double dot = 0;
+      for (int i = k; i < m; ++i) {
+        dot += v[static_cast<std::size_t>(i - k)] * q(i, j);
+      }
+      const double f = 2.0 * dot / vnorm2;
+      for (int i = k; i < m; ++i) {
+        q(i, j) -= f * v[static_cast<std::size_t>(i - k)];
+      }
+    }
+  }
+}
+
+}  // namespace linalg

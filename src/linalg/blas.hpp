@@ -1,0 +1,36 @@
+// Dense kernels (the BLAS/LAPACK subset the TLR Cholesky needs), written
+// from scratch: gemm, syrk, trsm, potrf, Householder QR.  Loop order is
+// column-major-friendly; these run on tile-sized problems in tests and
+// examples, while paper-scale runs use flop models instead (see
+// flops.hpp).
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace linalg {
+
+enum class Trans { No, Yes };
+
+/// C += alpha * op(A) * op(B).  Shapes must conform.
+void gemm(double alpha, const Matrix& a, Trans ta, const Matrix& b, Trans tb,
+          double beta, Matrix& c);
+
+/// C (n x n, lower) = beta*C + alpha * A * A^T, updating the lower
+/// triangle only (upper mirrored for convenience).
+void syrk_lower(double alpha, const Matrix& a, double beta, Matrix& c);
+
+/// Solves L * X = B in place (B <- L^{-1} B); L lower-triangular,
+/// non-unit diagonal.
+void trsm_left_lower(const Matrix& l, Matrix& b);
+
+/// Solves X * L^T = B in place (B <- B L^{-T}); L lower-triangular.
+void trsm_right_lower_trans(const Matrix& l, Matrix& b);
+
+/// In-place Cholesky of the lower triangle (A = L L^T; upper cleared).
+/// Returns false if A is not positive definite.
+bool potrf_lower(Matrix& a);
+
+/// Thin Householder QR: A (m x n, m >= n) = Q (m x n) * R (n x n, upper).
+void qr_thin(const Matrix& a, Matrix& q, Matrix& r);
+
+}  // namespace linalg

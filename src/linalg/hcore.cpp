@@ -1,0 +1,42 @@
+#include "linalg/hcore.hpp"
+
+#include <cassert>
+
+#include "linalg/blas.hpp"
+
+namespace linalg {
+
+void lr_trsm(const Matrix& l, LrTile& a) {
+  // (U V^T) L^{-T} = U (L^{-1} V)^T.
+  assert(l.rows() == a.cols());
+  trsm_left_lower(l, a.v);
+}
+
+void lr_syrk(const LrTile& a, Matrix& c) {
+  assert(c.rows() == a.rows() && c.cols() == a.rows());
+  const int r = a.rank();
+  // W = V^T V  (r x r)
+  Matrix w(r, r);
+  gemm(1.0, a.v, Trans::Yes, a.v, Trans::No, 0.0, w);
+  // T = U W  (m x r)
+  Matrix t(a.rows(), r);
+  gemm(1.0, a.u, Trans::No, w, Trans::No, 0.0, t);
+  // C -= T U^T
+  gemm(-1.0, t, Trans::No, a.u, Trans::Yes, 1.0, c);
+}
+
+void lr_gemm(const LrTile& a, const LrTile& b, LrTile& c,
+             const CompressOptions& opts) {
+  assert(a.cols() == b.cols());  // contraction over the k dimension
+  assert(c.rows() == a.rows() && c.cols() == b.rows());
+  // A B^T = U_a (V_a^T V_b) U_b^T.
+  Matrix w(a.rank(), b.rank());
+  gemm(1.0, a.v, Trans::Yes, b.v, Trans::No, 0.0, w);
+  LrTile prod;
+  prod.u = Matrix(a.rows(), b.rank());
+  gemm(1.0, a.u, Trans::No, w, Trans::No, 0.0, prod.u);
+  prod.v = b.u;  // (U_a W) U_b^T => V factor is U_b
+  lr_axpy(c, -1.0, prod, opts);
+}
+
+}  // namespace linalg

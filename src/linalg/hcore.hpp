@@ -1,0 +1,72 @@
+// HCORE-style tile kernels for TLR Cholesky (HiCMA's compute core).
+//
+// The two-flow TLR Cholesky with band size 1 keeps diagonal tiles dense
+// and off-band tiles low-rank; these kernels implement the four update
+// types it needs.
+#pragma once
+
+#include "linalg/lowrank.hpp"
+#include "linalg/matrix.hpp"
+
+namespace linalg {
+
+/// TRSM on a low-rank tile: A <- A * L^{-T} where A = U V^T, so only
+/// V <- L^{-1} V changes (the classic TLR trick: cost depends on rank,
+/// not tile width).
+void lr_trsm(const Matrix& l, LrTile& a);
+
+/// SYRK with a low-rank A into a dense lower-triangular C:
+/// C <- C - (U V^T)(U V^T)^T = C - U (V^T V) U^T.
+void lr_syrk(const LrTile& a, Matrix& c);
+
+/// GEMM of two low-rank tiles into a low-rank tile:
+/// C <- C - A * B^T, computed in factored form and recompressed.
+void lr_gemm(const LrTile& a, const LrTile& b, LrTile& c,
+             const CompressOptions& opts);
+
+/// Kernel cost split by execution profile: `dense` flops run at the
+/// machine's dense BLAS-3 rate; `skinny` flops are rank-sized panel
+/// operations (tall QR, small SVD, thin GEMM) that run memory-bound.
+struct KernelCost {
+  double dense = 0;
+  double skinny = 0;
+};
+
+namespace flops {
+
+/// Dense kernel flop counts (standard LAPACK conventions).
+constexpr double potrf(double n) { return n * n * n / 3.0; }
+constexpr double trsm(double m, double n) { return m * n * n; }
+constexpr double syrk(double n, double k) { return n * n * k; }
+constexpr double gemm(double m, double n, double k) {
+  return 2.0 * m * n * k;
+}
+
+/// TLR kernel flop counts as functions of tile size and ranks (Akbudak et
+/// al.): these are what make HiCMA tasks "far less compute-intense than
+/// traditional GEMM kernels" (§6.4.1).
+constexpr KernelCost lr_trsm(double nb, double r) {
+  // Triangular solve applied to V (nb x r): BLAS-3 shaped.
+  return {nb * nb * r, 0.0};
+}
+constexpr KernelCost lr_syrk(double nb, double r) {
+  // W = V^T V and T = U W are skinny; C -= T U^T is a dense-shaped GEMM.
+  return {2.0 * nb * nb * r, 2.0 * nb * r * r + 2.0 * nb * r * r};
+}
+inline KernelCost lr_gemm(double nb, double ra, double rb, double rc) {
+  // Factored product + QR/SVD recompression of rank (rc + min(ra, rb));
+  // everything is rank-sized panel work.
+  const double rmin = ra < rb ? ra : rb;
+  const double rsum = rc + rmin;
+  const double product = 2.0 * nb * ra * rb + 2.0 * nb * ra * rmin;
+  const double qr2 = 2.0 * 2.0 * nb * rsum * rsum;
+  const double small_svd = 22.0 * rsum * rsum * rsum;
+  const double reassemble = 4.0 * nb * rsum * rsum;
+  return {0.0, product + qr2 + small_svd + reassemble};
+}
+
+constexpr double total(const KernelCost& c) { return c.dense + c.skinny; }
+
+}  // namespace flops
+
+}  // namespace linalg

@@ -1,0 +1,99 @@
+#include "linalg/lowrank.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "linalg/blas.hpp"
+#include "linalg/svd.hpp"
+
+namespace linalg {
+namespace {
+
+int truncation_rank(const std::vector<double>& s,
+                    const CompressOptions& opts) {
+  int r = 0;
+  for (double sv : s) {
+    if (sv < opts.accuracy) break;
+    ++r;
+  }
+  if (r == 0) r = 1;  // keep at least rank 1 so the tile stays usable
+  if (opts.maxrank > 0) r = std::min(r, opts.maxrank);
+  return r;
+}
+
+}  // namespace
+
+LrTile compress(const Matrix& a, const CompressOptions& opts) {
+  const SvdResult svd = svd_jacobi(a);
+  const int r = truncation_rank(svd.s, opts);
+  LrTile t;
+  t.u = Matrix(a.rows(), r);
+  t.v = Matrix(a.cols(), r);
+  for (int j = 0; j < r; ++j) {
+    const double sv = svd.s[static_cast<std::size_t>(j)];
+    for (int i = 0; i < a.rows(); ++i) t.u(i, j) = svd.u(i, j) * sv;
+    for (int i = 0; i < a.cols(); ++i) t.v(i, j) = svd.v(i, j);
+  }
+  return t;
+}
+
+Matrix lr_to_dense(const LrTile& t) {
+  Matrix out(t.rows(), t.cols());
+  gemm(1.0, t.u, Trans::No, t.v, Trans::Yes, 0.0, out);
+  return out;
+}
+
+void recompress(LrTile& t, const CompressOptions& opts) {
+  const int r = t.rank();
+  if (r == 0) return;
+  if (r >= t.rows() || r >= t.cols()) {
+    // Rank no longer below the tile dimensions: the factored QR route
+    // needs tall factors, so round-trip through the dense form instead.
+    t = compress(lr_to_dense(t), opts);
+    return;
+  }
+  // QR both factors, SVD the small core Ru * Rv^T, truncate, reassemble.
+  Matrix qu, ru, qv, rv;
+  qr_thin(t.u, qu, ru);
+  qr_thin(t.v, qv, rv);
+  Matrix core(r, r);
+  gemm(1.0, ru, Trans::No, rv, Trans::Yes, 0.0, core);
+  const SvdResult svd = svd_jacobi(core);
+  const int k = truncation_rank(svd.s, opts);
+
+  Matrix us(r, k);
+  for (int j = 0; j < k; ++j) {
+    const double sv = svd.s[static_cast<std::size_t>(j)];
+    for (int i = 0; i < r; ++i) us(i, j) = svd.u(i, j) * sv;
+  }
+  Matrix vs = svd.v.columns(0, k);
+
+  LrTile out;
+  out.u = Matrix(t.rows(), k);
+  out.v = Matrix(t.cols(), k);
+  gemm(1.0, qu, Trans::No, us, Trans::No, 0.0, out.u);
+  gemm(1.0, qv, Trans::No, vs, Trans::No, 0.0, out.v);
+  t = std::move(out);
+}
+
+void lr_axpy(LrTile& c, double alpha, const LrTile& a,
+             const CompressOptions& opts) {
+  assert(c.rows() == a.rows() && c.cols() == a.cols());
+  const int rc = c.rank();
+  const int ra = a.rank();
+  LrTile sum;
+  sum.u = Matrix(c.rows(), rc + ra);
+  sum.v = Matrix(c.cols(), rc + ra);
+  for (int j = 0; j < rc; ++j) {
+    for (int i = 0; i < c.rows(); ++i) sum.u(i, j) = c.u(i, j);
+    for (int i = 0; i < c.cols(); ++i) sum.v(i, j) = c.v(i, j);
+  }
+  for (int j = 0; j < ra; ++j) {
+    for (int i = 0; i < a.rows(); ++i) sum.u(i, rc + j) = alpha * a.u(i, j);
+    for (int i = 0; i < a.cols(); ++i) sum.v(i, rc + j) = a.v(i, j);
+  }
+  recompress(sum, opts);
+  c = std::move(sum);
+}
+
+}  // namespace linalg

@@ -1,0 +1,54 @@
+// Low-rank tile representation and compression.
+//
+// A tile A (m x n) is stored as A ~= U * V^T with U: m x r, V: n x r —
+// the packed U x V format HiCMA uses; its memory footprint is
+// (m + n) * r doubles, the quantity the paper's §6.4.2 message-size
+// discussion is about.
+#pragma once
+
+#include <cstddef>
+
+#include "linalg/matrix.hpp"
+
+namespace linalg {
+
+struct LrTile {
+  Matrix u;  ///< m x r
+  Matrix v;  ///< n x r
+
+  int rows() const { return u.rows(); }
+  int cols() const { return v.rows(); }
+  int rank() const { return u.cols(); }
+
+  /// Packed U x V storage footprint.
+  std::size_t bytes() const {
+    return (static_cast<std::size_t>(rows()) +
+            static_cast<std::size_t>(cols())) *
+           static_cast<std::size_t>(rank()) * sizeof(double);
+  }
+};
+
+struct CompressOptions {
+  /// Absolute singular-value threshold (HiCMA "fixed accuracy"): keep
+  /// sigma_i >= accuracy.
+  double accuracy = 1e-8;
+  /// Hard rank cap (HiCMA maxrank); 0 means unlimited.
+  int maxrank = 0;
+};
+
+/// Compresses a dense tile into U * V^T form.
+LrTile compress(const Matrix& a, const CompressOptions& opts);
+
+/// Reconstructs the dense tile (U * V^T).
+Matrix lr_to_dense(const LrTile& t);
+
+/// Rounds a (possibly rank-inflated) tile back down to the requested
+/// accuracy using QR + small-SVD recompression.
+void recompress(LrTile& t, const CompressOptions& opts);
+
+/// C <- C + alpha * A where both are low-rank over the same shape:
+/// concatenates factors then recompresses.
+void lr_axpy(LrTile& c, double alpha, const LrTile& a,
+             const CompressOptions& opts);
+
+}  // namespace linalg

@@ -1,0 +1,82 @@
+// Dense column-major matrix of doubles.
+//
+// Deliberately minimal: the HiCMA reproduction needs owned storage, an
+// (i,j) accessor, and cheap moves.  All kernels in blas.hpp operate on
+// whole matrices (tiles), which is exactly the granularity the tile-based
+// algorithms use.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace linalg {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(int rows, int cols)
+      : rows_(rows), cols_(cols),
+        data_(static_cast<std::size_t>(rows) *
+              static_cast<std::size_t>(cols)) {
+    assert(rows >= 0 && cols >= 0);
+  }
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
+
+  double& operator()(int i, int j) {
+    assert(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return data_[static_cast<std::size_t>(j) *
+                     static_cast<std::size_t>(rows_) +
+                 static_cast<std::size_t>(i)];
+  }
+  double operator()(int i, int j) const {
+    assert(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return data_[static_cast<std::size_t>(j) *
+                     static_cast<std::size_t>(rows_) +
+                 static_cast<std::size_t>(i)];
+  }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+  std::size_t size_bytes() const { return data_.size() * sizeof(double); }
+
+  /// Column-slice copy: columns [c0, c0+n).
+  Matrix columns(int c0, int n) const {
+    assert(c0 >= 0 && c0 + n <= cols_);
+    Matrix out(rows_, n);
+    for (int j = 0; j < n; ++j) {
+      for (int i = 0; i < rows_; ++i) out(i, j) = (*this)(i, c0 + j);
+    }
+    return out;
+  }
+
+  Matrix transposed() const {
+    Matrix out(cols_, rows_);
+    for (int j = 0; j < cols_; ++j) {
+      for (int i = 0; i < rows_; ++i) out(j, i) = (*this)(i, j);
+    }
+    return out;
+  }
+
+  static Matrix identity(int n) {
+    Matrix out(n, n);
+    for (int i = 0; i < n; ++i) out(i, i) = 1.0;
+    return out;
+  }
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Frobenius norm of A.
+double frobenius_norm(const Matrix& a);
+
+/// Frobenius norm of A - B (shapes must match).
+double frobenius_diff(const Matrix& a, const Matrix& b);
+
+}  // namespace linalg

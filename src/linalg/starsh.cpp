@@ -1,0 +1,53 @@
+#include "linalg/starsh.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "des/rng.hpp"
+
+namespace linalg {
+
+std::vector<std::pair<double, double>> sqexp_points(const SqExpProblem& p) {
+  assert(p.n > 0);
+  const int side = static_cast<int>(std::ceil(std::sqrt(
+      static_cast<double>(p.n))));
+  const double spacing = 1.0 / static_cast<double>(side);
+  des::Rng rng(des::derive_seed(p.seed, 0x9017));
+  std::vector<std::pair<double, double>> pts;
+  pts.reserve(static_cast<std::size_t>(p.n));
+  for (int idx = 0; idx < p.n; ++idx) {
+    const int gx = idx % side;
+    const int gy = idx / side;
+    const double jx = p.jitter * spacing * (rng.uniform() - 0.5);
+    const double jy = p.jitter * spacing * (rng.uniform() - 0.5);
+    pts.emplace_back((gx + 0.5) * spacing + jx, (gy + 0.5) * spacing + jy);
+  }
+  return pts;
+}
+
+double sqexp_entry(const SqExpProblem& p,
+                   const std::vector<std::pair<double, double>>& pts, int i,
+                   int j) {
+  const auto [xi, yi] = pts[static_cast<std::size_t>(i)];
+  const auto [xj, yj] = pts[static_cast<std::size_t>(j)];
+  const double dx = xi - xj;
+  const double dy = yi - yj;
+  const double d2 = dx * dx + dy * dy;
+  double v = std::exp(-d2 / (2.0 * p.length_scale * p.length_scale));
+  if (i == j) v += p.noise;
+  return v;
+}
+
+Matrix sqexp_block(const SqExpProblem& p,
+                   const std::vector<std::pair<double, double>>& pts, int r0,
+                   int m, int c0, int n) {
+  Matrix out(m, n);
+  for (int j = 0; j < n; ++j) {
+    for (int i = 0; i < m; ++i) {
+      out(i, j) = sqexp_entry(p, pts, r0 + i, c0 + j);
+    }
+  }
+  return out;
+}
+
+}  // namespace linalg

@@ -1,0 +1,39 @@
+// Synthetic application matrices (the STARS-H role in the HiCMA stack).
+//
+// st-2d-sqexp: spatial statistics covariance on a 2D point grid with the
+// squared-exponential kernel — the problem type of the paper's §6.4
+// experiments.  Off-diagonal blocks of such matrices are numerically
+// low-rank, with rank decaying with distance from the diagonal, which is
+// what gives HiCMA its workload shape.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace linalg {
+
+struct SqExpProblem {
+  int n = 0;                 ///< matrix dimension (= number of points)
+  double length_scale = 0.1; ///< kernel correlation length
+  double noise = 1e-2;       ///< diagonal nugget (keeps the matrix SPD)
+  double jitter = 0.3;       ///< grid perturbation, fraction of spacing
+  std::uint64_t seed = 42;
+};
+
+/// 2D point set: a near-regular sqrt(n) x sqrt(n) grid over the unit
+/// square with deterministic jitter (the STARS-H spatial layout).
+std::vector<std::pair<double, double>> sqexp_points(const SqExpProblem& p);
+
+/// Covariance entry K(i, j) for the point set.
+double sqexp_entry(const SqExpProblem& p,
+                   const std::vector<std::pair<double, double>>& pts, int i,
+                   int j);
+
+/// Materializes the dense block rows [r0, r0+m) x cols [c0, c0+n).
+Matrix sqexp_block(const SqExpProblem& p,
+                   const std::vector<std::pair<double, double>>& pts, int r0,
+                   int m, int c0, int n);
+
+}  // namespace linalg

@@ -1,0 +1,92 @@
+#include "linalg/svd.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace linalg {
+namespace {
+
+/// One-sided Jacobi on the columns of W (m x n, m >= n): orthogonalizes
+/// column pairs; V accumulates the rotations so A = W_final * V^T with
+/// W_final = U * diag(s).
+void jacobi_columns(Matrix& w, Matrix& v, int max_sweeps, double tol) {
+  const int n = w.cols();
+  const int m = w.rows();
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    bool rotated = false;
+    for (int p = 0; p < n - 1; ++p) {
+      for (int q = p + 1; q < n; ++q) {
+        double app = 0, aqq = 0, apq = 0;
+        for (int i = 0; i < m; ++i) {
+          app += w(i, p) * w(i, p);
+          aqq += w(i, q) * w(i, q);
+          apq += w(i, p) * w(i, q);
+        }
+        if (std::abs(apq) <= tol * std::sqrt(app * aqq) || apq == 0.0) {
+          continue;
+        }
+        rotated = true;
+        const double tau = (aqq - app) / (2.0 * apq);
+        const double t = (tau >= 0 ? 1.0 : -1.0) /
+                         (std::abs(tau) + std::sqrt(1.0 + tau * tau));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = c * t;
+        for (int i = 0; i < m; ++i) {
+          const double wp = w(i, p), wq = w(i, q);
+          w(i, p) = c * wp - s * wq;
+          w(i, q) = s * wp + c * wq;
+        }
+        for (int i = 0; i < v.rows(); ++i) {
+          const double vp = v(i, p), vq = v(i, q);
+          v(i, p) = c * vp - s * vq;
+          v(i, q) = s * vp + c * vq;
+        }
+      }
+    }
+    if (!rotated) break;
+  }
+}
+
+}  // namespace
+
+SvdResult svd_jacobi(const Matrix& a, int max_sweeps, double tol) {
+  const bool transpose = a.rows() < a.cols();
+  Matrix w = transpose ? a.transposed() : a;
+  const int m = w.rows();
+  const int n = w.cols();
+  Matrix v = Matrix::identity(n);
+  jacobi_columns(w, v, max_sweeps, tol);
+
+  // Column norms are the singular values.
+  std::vector<double> s(static_cast<std::size_t>(n), 0.0);
+  for (int j = 0; j < n; ++j) {
+    double nrm = 0;
+    for (int i = 0; i < m; ++i) nrm += w(i, j) * w(i, j);
+    s[static_cast<std::size_t>(j)] = std::sqrt(nrm);
+  }
+  std::vector<int> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int x, int y) {
+    return s[static_cast<std::size_t>(x)] > s[static_cast<std::size_t>(y)];
+  });
+
+  SvdResult out;
+  out.u = Matrix(m, n);
+  out.v = Matrix(n, n);
+  out.s.resize(static_cast<std::size_t>(n));
+  for (int jj = 0; jj < n; ++jj) {
+    const int j = order[static_cast<std::size_t>(jj)];
+    const double sv = s[static_cast<std::size_t>(j)];
+    out.s[static_cast<std::size_t>(jj)] = sv;
+    for (int i = 0; i < m; ++i) {
+      out.u(i, jj) = sv > 0 ? w(i, j) / sv : 0.0;
+    }
+    for (int i = 0; i < n; ++i) out.v(i, jj) = v(i, j);
+  }
+  if (transpose) std::swap(out.u, out.v);
+  return out;
+}
+
+}  // namespace linalg

@@ -1,0 +1,23 @@
+// Singular value decomposition via one-sided Jacobi rotations.
+//
+// Robust and dependency-free; cubic cost is fine at tile scale.  Returns
+// the thin SVD A (m x n) = U (m x k) * diag(s) * V^T (k x n) with
+// k = min(m, n) and s sorted descending.
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace linalg {
+
+struct SvdResult {
+  Matrix u;               ///< m x k, orthonormal columns
+  std::vector<double> s;  ///< k singular values, descending
+  Matrix v;               ///< n x k, orthonormal columns (A = U S V^T)
+};
+
+SvdResult svd_jacobi(const Matrix& a, int max_sweeps = 60,
+                     double tol = 1e-13);
+
+}  // namespace linalg

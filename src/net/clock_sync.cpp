@@ -1,0 +1,100 @@
+#include "net/clock_sync.hpp"
+
+#include <cassert>
+#include <limits>
+
+namespace net {
+namespace {
+
+// WireHeader::kind values for the sync protocol (proto == kProtoRaw).
+enum : std::uint16_t { kProbe = 0xC5, kEcho = 0xC6 };
+
+constexpr std::uint64_t kProbeBytes = 64;
+
+}  // namespace
+
+std::vector<des::Duration> ClockSync::synchronize(Fabric& fabric, int rounds) {
+  assert(rounds > 0);
+  const int n = fabric.num_nodes();
+  std::vector<des::Duration> offsets(static_cast<std::size_t>(n), 0);
+  if (n == 1) return offsets;
+
+  des::Engine& eng = fabric.engine();
+
+  struct State {
+    int target = 1;          // node currently being synchronized
+    int round = 0;           // probe round for that node
+    des::Time t1_local = 0;  // root clock when probe sent
+    des::Duration best_rtt = std::numeric_limits<des::Duration>::max();
+    des::Duration best_offset = 0;
+    bool done = false;
+  } st;
+
+  // Every non-root node echoes probes, stamping its local receive time.
+  // t2 == t3 in this implementation (the echo turns around instantly; the
+  // modeled NIC pipes still contribute symmetric delays).
+  for (NodeId node = 1; node < n; ++node) {
+    fabric.nic(node).set_deliver_handler([&fabric, node](Message&& m) {
+      if (m.hdr.proto != kProtoRaw || m.hdr.kind != kProbe) return;
+      Message echo;
+      echo.src = node;
+      echo.dst = m.src;
+      echo.wire_bytes = kProbeBytes;
+      echo.hdr.proto = kProtoRaw;
+      echo.hdr.kind = kEcho;
+      echo.hdr.imm[0] =
+          static_cast<std::uint64_t>(fabric.local_clock(node));
+      fabric.nic(node).send(std::move(echo));
+    });
+  }
+
+  auto send_probe = [&fabric, &st]() {
+    st.t1_local = fabric.local_clock(0);
+    Message probe;
+    probe.src = 0;
+    probe.dst = st.target;
+    probe.wire_bytes = kProbeBytes;
+    probe.hdr.proto = kProtoRaw;
+    probe.hdr.kind = kProbe;
+    fabric.nic(0).send(std::move(probe));
+  };
+
+  fabric.nic(0).set_deliver_handler(
+      [&fabric, &st, &offsets, rounds, n, &send_probe](Message&& m) {
+        if (m.hdr.proto != kProtoRaw || m.hdr.kind != kEcho) return;
+        const des::Time t4 = fabric.local_clock(0);
+        const auto t2 = static_cast<des::Time>(m.hdr.imm[0]);
+        const des::Duration rtt = t4 - st.t1_local;
+        // offset = remote_clock - root_clock, assuming symmetric one-way
+        // delays: t2 = t1 + delay + offset, t4 = t2 - offset + delay.
+        const des::Duration offset = t2 - st.t1_local - rtt / 2;
+        if (rtt < st.best_rtt) {
+          st.best_rtt = rtt;
+          st.best_offset = offset;
+        }
+        if (++st.round < rounds) {
+          send_probe();
+          return;
+        }
+        offsets[static_cast<std::size_t>(st.target)] = st.best_offset;
+        st.round = 0;
+        st.best_rtt = std::numeric_limits<des::Duration>::max();
+        if (++st.target < n) {
+          send_probe();
+        } else {
+          st.done = true;
+        }
+      });
+
+  send_probe();
+  eng.run_while_pending([&st]() { return st.done; });
+  assert(st.done && "clock sync did not complete");
+
+  // Leave the NICs handler-free for the real communication library.
+  for (NodeId node = 0; node < n; ++node) {
+    fabric.nic(node).set_deliver_handler(nullptr);
+  }
+  return offsets;
+}
+
+}  // namespace net

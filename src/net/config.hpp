@@ -1,0 +1,44 @@
+// Fabric configuration and the Expanse-like default parameter set.
+#pragma once
+
+#include <cstdint>
+
+#include "des/time.hpp"
+
+namespace net {
+
+struct FabricConfig {
+  /// Per-NIC, per-direction aggregate link bandwidth in bytes/second.
+  /// Expanse: 2 x 50 Gbit/s HDR InfiniBand = 100 Gbit/s = 12.5 GB/s
+  /// (the two rails are modeled as one aggregated pipe).
+  double link_bandwidth_Bps = 12.5e9;
+
+  /// Base propagation + NIC-to-NIC latency excluding switch hops.
+  des::Duration wire_latency = 600;  // 0.6 us
+
+  /// Latency added per switch hop.
+  des::Duration per_hop_latency = 150;  // 0.15 us
+
+  /// Nodes attached to the same leaf switch (1 hop); otherwise the message
+  /// crosses the spine (3 hops).  Matches a two-level fat-tree.
+  int nodes_per_switch = 16;
+
+  /// Maximum NIC message rate (messages/second); enforces a minimum gap
+  /// between message starts so small messages are rate- not
+  /// bandwidth-limited.
+  double nic_msg_rate = 30e6;
+
+  /// Intra-node loopback: fixed latency + memory-copy bandwidth.
+  des::Duration loopback_latency = 400;
+  double loopback_bandwidth_Bps = 40e9;
+
+  /// Clock skew injection: each node's local clock is offset by a value
+  /// uniform in [-clock_skew_max, +clock_skew_max] (0 disables).
+  des::Duration clock_skew_max = 0;
+  std::uint64_t clock_seed = 0x5eed;
+};
+
+/// Parameters mirroring the paper's SDSC Expanse platform (Table 1).
+inline FabricConfig expanse_config() { return FabricConfig{}; }
+
+}  // namespace net

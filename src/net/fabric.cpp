@@ -1,0 +1,109 @@
+#include "net/fabric.hpp"
+
+#include <cassert>
+#include <cstring>
+#include <utility>
+
+namespace net {
+
+PayloadPtr make_payload(const void* data, std::size_t size) {
+  auto buf = std::make_shared<std::vector<std::byte>>(size);
+  if (size > 0) std::memcpy(buf->data(), data, size);
+  return buf;
+}
+
+Fabric::Fabric(des::Engine& engine, int num_nodes, FabricConfig config)
+    : eng_(engine), cfg_(config) {
+  assert(num_nodes > 0);
+  nics_.reserve(static_cast<std::size_t>(num_nodes));
+  for (NodeId n = 0; n < num_nodes; ++n) {
+    nics_.emplace_back(std::unique_ptr<Nic>(new Nic(*this, n)));
+  }
+  skew_.resize(static_cast<std::size_t>(num_nodes), 0);
+  if (cfg_.clock_skew_max > 0) {
+    des::Rng rng(des::derive_seed(cfg_.clock_seed, 0xC10C));
+    for (auto& s : skew_) {
+      const double max = static_cast<double>(cfg_.clock_skew_max);
+      s = static_cast<des::Duration>(rng.uniform(-max, max));
+    }
+  }
+}
+
+int Fabric::hops(NodeId a, NodeId b) const {
+  if (a == b) return 0;
+  const int group_a = a / cfg_.nodes_per_switch;
+  const int group_b = b / cfg_.nodes_per_switch;
+  return group_a == group_b ? 1 : 3;
+}
+
+des::Duration Fabric::latency(NodeId a, NodeId b) const {
+  if (a == b) return cfg_.loopback_latency;
+  return cfg_.wire_latency + static_cast<des::Duration>(hops(a, b)) *
+                                 cfg_.per_hop_latency;
+}
+
+des::Duration Fabric::occupancy(std::uint64_t bytes) const {
+  const auto serial = serialization_time(bytes);
+  const auto gap = des::from_seconds(1.0 / cfg_.nic_msg_rate);
+  return serial > gap ? serial : gap;
+}
+
+void Nic::send(Message m, SentHandler on_sent) {
+  assert(m.src == node_ && "message src must be the sending NIC's node");
+  assert(m.dst >= 0 && m.dst < fabric_.num_nodes());
+  fabric_.do_send(*this, std::move(m), std::move(on_sent));
+}
+
+void Fabric::do_send(Nic& src, Message m, Nic::SentHandler on_sent) {
+  const des::Time now = eng_.now();
+  ++total_msgs_;
+  total_bytes_ += m.wire_bytes;
+  ++src.stats_.msgs_sent;
+  src.stats_.bytes_sent += m.wire_bytes;
+
+  Nic& dst = nic(m.dst);
+
+  if (m.src == m.dst) {
+    // Loopback: memory copy, no NIC pipe occupancy.
+    const des::Duration copy =
+        des::transfer_time(m.wire_bytes, cfg_.loopback_bandwidth_Bps);
+    const des::Time done = now + cfg_.loopback_latency + copy;
+    eng_.schedule_at(done, [this, &dst, msg = std::move(m),
+                            cb = std::move(on_sent)]() mutable {
+      if (cb) cb();
+      ++dst.stats_.msgs_received;
+      dst.stats_.bytes_received += msg.wire_bytes;
+      assert(dst.deliver_ && "no deliver handler installed");
+      dst.deliver_(std::move(msg));
+    });
+    return;
+  }
+
+  const des::Duration occ = occupancy(m.wire_bytes);
+  const des::Time egress_start = std::max(now, src.egress_free_);
+  const des::Time egress_end = egress_start + occ;
+  src.egress_free_ = egress_end;
+
+  if (on_sent) {
+    eng_.schedule_at(egress_end, std::move(on_sent));
+  }
+
+  // Last byte reaches the destination after the wire latency.
+  const des::Time available_at = egress_end + latency(m.src, m.dst);
+
+  // Receiver ingress pipe: the port can overlap with the wire (cut-through)
+  // but serializes across concurrent senders.
+  const des::Time ingress_start =
+      std::max(available_at - occ, dst.ingress_free_);
+  const des::Time ingress_end = std::max(ingress_start + occ, available_at);
+  dst.ingress_free_ = ingress_end;
+
+  eng_.schedule_at(ingress_end, [this, &dst, msg = std::move(m)]() mutable {
+    ++dst.stats_.msgs_received;
+    dst.stats_.bytes_received += msg.wire_bytes;
+    assert(dst.deliver_ && "no deliver handler installed");
+    dst.deliver_(std::move(msg));
+  });
+}
+
+}  // namespace net

@@ -1,0 +1,130 @@
+// The simulated cluster fabric.
+//
+// Timing model (LogGP-flavoured, cut-through):
+//   - Sender NIC egress is a FIFO pipe: a message occupies it for
+//     max(bytes / bandwidth, 1 / msg_rate) starting when the pipe frees.
+//   - The last byte reaches the receiver egress_end + latency(src, dst)
+//     later, where latency includes per-switch-hop costs from a two-level
+//     fat-tree hop count.
+//   - Receiver NIC ingress is a FIFO pipe too: concurrent senders to one
+//     node serialize, which is what produces incast queueing.
+//   - Delivery fires when the ingress pipe finishes the message; upper
+//     layers treat it as "the NIC wrote a completion-queue entry".
+//
+// Host CPU costs (send/recv software overhead, matching, callbacks) are
+// deliberately NOT modeled here — they belong to the communication
+// libraries (mmpi / mlci), because the difference between those libraries
+// is the paper's subject.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "des/engine.hpp"
+#include "des/rng.hpp"
+#include "des/time.hpp"
+#include "net/config.hpp"
+#include "net/message.hpp"
+
+namespace net {
+
+/// Per-NIC traffic counters.
+struct NicStats {
+  std::uint64_t msgs_sent = 0;
+  std::uint64_t msgs_received = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+};
+
+class Fabric;
+
+/// One node's network interface.  Upper layers send through it and register
+/// a delivery handler to receive.
+class Nic {
+ public:
+  using DeliverHandler = std::function<void(Message&&)>;
+  /// Invoked when the last byte of a sent message has left this NIC (the
+  /// send buffer is reusable and, for RDMA-style semantics, the transfer is
+  /// locally complete).
+  using SentHandler = std::function<void()>;
+
+  /// Starts sending `m` (m.src must equal this NIC's node).  `on_sent` may
+  /// be null.  Delivery at the destination is asynchronous.
+  void send(Message m, SentHandler on_sent = nullptr);
+
+  /// Registers the function invoked on message arrival.  Exactly one
+  /// handler per NIC (the owning communication library).
+  void set_deliver_handler(DeliverHandler h) { deliver_ = std::move(h); }
+
+  NodeId node() const { return node_; }
+  const NicStats& stats() const { return stats_; }
+
+  /// Earliest time a new egress could start (for tests / introspection).
+  des::Time egress_free_at() const { return egress_free_; }
+
+ private:
+  friend class Fabric;
+  Nic(Fabric& fabric, NodeId node) : fabric_(fabric), node_(node) {}
+
+  Fabric& fabric_;
+  NodeId node_;
+  DeliverHandler deliver_;
+  NicStats stats_;
+  des::Time egress_free_ = 0;
+  des::Time ingress_free_ = 0;
+};
+
+class Fabric {
+ public:
+  Fabric(des::Engine& engine, int num_nodes, FabricConfig config = {});
+
+  des::Engine& engine() { return eng_; }
+  const FabricConfig& config() const { return cfg_; }
+  int num_nodes() const { return static_cast<int>(nics_.size()); }
+
+  Nic& nic(NodeId node) { return *nics_.at(static_cast<std::size_t>(node)); }
+
+  /// Switch hops between two nodes under the two-level fat-tree model.
+  int hops(NodeId a, NodeId b) const;
+
+  /// One-way wire latency between two nodes (excludes pipe occupancy).
+  des::Duration latency(NodeId a, NodeId b) const;
+
+  /// Pure serialization time of `bytes` on one pipe (without the
+  /// message-rate floor).
+  des::Duration serialization_time(std::uint64_t bytes) const {
+    return des::transfer_time(bytes, cfg_.link_bandwidth_Bps);
+  }
+
+  /// Pipe occupancy of one message: max(serialization, message-rate gap).
+  des::Duration occupancy(std::uint64_t bytes) const;
+
+  /// The node's local clock reading (global time + injected skew).
+  des::Time local_clock(NodeId node) const {
+    return eng_.now() + skew_.at(static_cast<std::size_t>(node));
+  }
+
+  /// The injected (ground-truth) skew of a node's clock.
+  des::Duration true_skew(NodeId node) const {
+    return skew_.at(static_cast<std::size_t>(node));
+  }
+
+  std::uint64_t total_messages() const { return total_msgs_; }
+  std::uint64_t total_bytes() const { return total_bytes_; }
+
+ private:
+  friend class Nic;
+  void do_send(Nic& src, Message m, Nic::SentHandler on_sent);
+
+  des::Engine& eng_;
+  FabricConfig cfg_;
+  std::vector<std::unique_ptr<Nic>> nics_;
+  std::vector<des::Duration> skew_;
+  std::uint64_t total_msgs_ = 0;
+  std::uint64_t total_bytes_ = 0;
+};
+
+}  // namespace net

@@ -1,0 +1,55 @@
+// Wire-level message representation.
+//
+// The fabric transports opaque messages between nodes.  A message carries a
+// fixed protocol header (interpreted by the mmpi / mlci layers, never by the
+// fabric) plus an optional real payload.  `wire_bytes` is what occupies the
+// network; the payload pointer may be null for "virtual" payloads used by
+// paper-scale experiments where moving real bytes would be wasteful — the
+// timing model only ever reads wire_bytes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace net {
+
+/// Identifies a simulated node (0-based, dense).
+using NodeId = int;
+
+/// Reference-counted byte buffer.  Immutable by convention once sent.
+using PayloadPtr = std::shared_ptr<const std::vector<std::byte>>;
+
+/// Makes a payload from raw memory (copies, like a NIC doing DMA-out of a
+/// send buffer that the caller may immediately reuse).
+PayloadPtr make_payload(const void* data, std::size_t size);
+
+/// Fixed header space for upper-layer protocols.  The fabric treats this as
+/// opaque bits; mmpi and mlci define their own field meanings.
+struct WireHeader {
+  std::uint16_t proto = 0;   ///< owning protocol (mmpi / mlci / raw)
+  std::uint16_t kind = 0;    ///< message kind within the protocol
+  std::uint32_t flags = 0;
+  std::uint64_t tag = 0;
+  std::uint64_t seq = 0;
+  std::uint64_t size = 0;    ///< logical payload size in bytes
+  std::uint64_t imm[4] = {0, 0, 0, 0};  ///< protocol immediates
+};
+
+/// Protocol ids for WireHeader::proto.
+enum : std::uint16_t {
+  kProtoRaw = 0,
+  kProtoMpi = 1,
+  kProtoLci = 2,
+};
+
+struct Message {
+  NodeId src = -1;
+  NodeId dst = -1;
+  std::uint64_t wire_bytes = 0;  ///< bytes that occupy the wire
+  WireHeader hdr;
+  PayloadPtr payload;  ///< may be null (virtual payload)
+};
+
+}  // namespace net

@@ -1,0 +1,140 @@
+#include "des/coro.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace {
+
+using des::CoTask;
+using des::Engine;
+using des::SimEvent;
+using des::SimFuture;
+
+TEST(Coro, DelayResumesAtRightTime) {
+  Engine eng;
+  std::vector<des::Time> marks;
+  auto body = [&](Engine& e) -> CoTask {
+    marks.push_back(e.now());
+    co_await des::delay(e, 100);
+    marks.push_back(e.now());
+    co_await des::delay(e, 50);
+    marks.push_back(e.now());
+  };
+  body(eng);
+  eng.run();
+  EXPECT_EQ(marks, (std::vector<des::Time>{0, 100, 150}));
+}
+
+TEST(Coro, StartsEagerly) {
+  Engine eng;
+  bool started = false;
+  auto body = [&](Engine& e) -> CoTask {
+    started = true;
+    co_await des::delay(e, 1);
+  };
+  body(eng);
+  EXPECT_TRUE(started);  // before eng.run()
+  eng.run();
+}
+
+TEST(Coro, SimEventWakesAllWaiters) {
+  Engine eng;
+  SimEvent ev(eng);
+  std::vector<int> woke;
+  auto waiter = [&](int id) -> CoTask {
+    co_await ev;
+    woke.push_back(id);
+  };
+  waiter(1);
+  waiter(2);
+  waiter(3);
+  eng.schedule_at(10, [&] { ev.trigger(); });
+  eng.run();
+  EXPECT_EQ(woke, (std::vector<int>{1, 2, 3}));
+  EXPECT_TRUE(ev.triggered());
+}
+
+TEST(Coro, AwaitAfterTriggerDoesNotBlock) {
+  Engine eng;
+  SimEvent ev(eng);
+  ev.trigger();
+  bool ran = false;
+  auto body = [&]() -> CoTask {
+    co_await ev;
+    ran = true;
+  };
+  body();
+  eng.run();
+  EXPECT_TRUE(ran);
+}
+
+TEST(Coro, TriggerIsIdempotent) {
+  Engine eng;
+  SimEvent ev(eng);
+  int wakes = 0;
+  auto body = [&]() -> CoTask {
+    co_await ev;
+    ++wakes;
+  };
+  body();
+  ev.trigger();
+  ev.trigger();
+  eng.run();
+  EXPECT_EQ(wakes, 1);
+}
+
+TEST(Coro, SimFutureDeliversValue) {
+  Engine eng;
+  SimFuture<int> fut(eng);
+  int got = 0;
+  auto body = [&]() -> CoTask {
+    got = co_await fut;
+  };
+  body();
+  eng.schedule_at(5, [&] { fut.set_value(42); });
+  eng.run();
+  EXPECT_EQ(got, 42);
+  EXPECT_TRUE(fut.ready());
+  EXPECT_EQ(fut.get(), 42);
+}
+
+TEST(Coro, SimFutureAwaitAfterSetYieldsImmediately) {
+  Engine eng;
+  SimFuture<int> fut(eng);
+  fut.set_value(7);
+  int got = 0;
+  auto body = [&]() -> CoTask {
+    got = co_await fut;
+  };
+  body();
+  EXPECT_EQ(got, 7);  // ready future resumes synchronously
+}
+
+TEST(Coro, PingPongBetweenTwoCoroutines) {
+  Engine eng;
+  SimEvent ping(eng), pong(eng);
+  std::vector<std::pair<char, des::Time>> log;
+  auto a = [&]() -> CoTask {
+    co_await des::delay(eng, 10);
+    log.emplace_back('a', eng.now());
+    ping.trigger();
+    co_await pong;
+    log.emplace_back('a', eng.now());
+  };
+  auto b = [&]() -> CoTask {
+    co_await ping;
+    co_await des::delay(eng, 10);
+    log.emplace_back('b', eng.now());
+    pong.trigger();
+  };
+  a();
+  b();
+  eng.run();
+  ASSERT_EQ(log.size(), 3u);
+  EXPECT_EQ(log[0], std::make_pair('a', des::Time{10}));
+  EXPECT_EQ(log[1], std::make_pair('b', des::Time{20}));
+  EXPECT_EQ(log[2], std::make_pair('a', des::Time{20}));
+}
+
+}  // namespace

@@ -1,0 +1,101 @@
+#include "des/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace {
+
+using des::Engine;
+
+TEST(Engine, NowAdvancesToFiredEventTime) {
+  Engine eng;
+  des::Time seen = -1;
+  eng.schedule_at(50, [&] { seen = eng.now(); });
+  eng.run();
+  EXPECT_EQ(seen, 50);
+  EXPECT_EQ(eng.now(), 50);
+}
+
+TEST(Engine, ScheduleAfterIsRelative) {
+  Engine eng;
+  std::vector<des::Time> times;
+  eng.schedule_at(10, [&] {
+    eng.schedule_after(5, [&] { times.push_back(eng.now()); });
+  });
+  eng.run();
+  ASSERT_EQ(times.size(), 1u);
+  EXPECT_EQ(times[0], 15);
+}
+
+TEST(Engine, EventsCascade) {
+  Engine eng;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 10) eng.schedule_after(1, chain);
+  };
+  eng.schedule_at(0, chain);
+  eng.run();
+  EXPECT_EQ(depth, 10);
+  EXPECT_EQ(eng.now(), 9);
+}
+
+TEST(Engine, RunUntilStopsAtDeadline) {
+  Engine eng;
+  int fired = 0;
+  eng.schedule_at(10, [&] { ++fired; });
+  eng.schedule_at(20, [&] { ++fired; });
+  eng.schedule_at(30, [&] { ++fired; });
+  eng.run_until(20);
+  EXPECT_EQ(fired, 2);          // events at 10 and exactly 20 fire
+  EXPECT_EQ(eng.now(), 20);
+  EXPECT_EQ(eng.pending_events(), 1u);
+  eng.run();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Engine, RunUntilAdvancesClockWhenIdle) {
+  Engine eng;
+  eng.run_until(1000);
+  EXPECT_EQ(eng.now(), 1000);
+}
+
+TEST(Engine, CancelScheduledEvent) {
+  Engine eng;
+  bool fired = false;
+  auto id = eng.schedule_at(5, [&] { fired = true; });
+  EXPECT_TRUE(eng.cancel(id));
+  eng.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Engine, StepReturnsFalseWhenDrained) {
+  Engine eng;
+  eng.schedule_at(1, [] {});
+  EXPECT_TRUE(eng.step());
+  EXPECT_FALSE(eng.step());
+}
+
+TEST(Engine, RunWhilePendingStopsOnPredicate) {
+  Engine eng;
+  int count = 0;
+  for (int i = 1; i <= 10; ++i) eng.schedule_at(i, [&] { ++count; });
+  EXPECT_TRUE(eng.run_while_pending([&] { return count >= 4; }));
+  EXPECT_EQ(count, 4);
+  EXPECT_EQ(eng.now(), 4);
+}
+
+TEST(Engine, RunWhilePendingReturnsFalseOnDrain) {
+  Engine eng;
+  eng.schedule_at(1, [] {});
+  EXPECT_FALSE(eng.run_while_pending([] { return false; }));
+}
+
+TEST(Engine, CountsFiredEvents) {
+  Engine eng;
+  for (int i = 0; i < 7; ++i) eng.schedule_at(i, [] {});
+  eng.run();
+  EXPECT_EQ(eng.events_fired(), 7u);
+}
+
+}  // namespace

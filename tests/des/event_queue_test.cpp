@@ -1,0 +1,104 @@
+#include "des/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace {
+
+using des::EventQueue;
+using des::kTimeNever;
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.schedule(30, [&] { fired.push_back(3); });
+  q.schedule(10, [&] { fired.push_back(1); });
+  q.schedule(20, [&] { fired.push_back(2); });
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, EqualTimesFireInInsertionOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  for (int i = 0; i < 16; ++i) {
+    q.schedule(42, [&fired, i] { fired.push_back(i); });
+  }
+  while (!q.empty()) q.pop().fn();
+  ASSERT_EQ(fired.size(), 16u);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(fired[static_cast<size_t>(i)], i);
+}
+
+TEST(EventQueue, CancelPreventsFiring) {
+  EventQueue q;
+  bool fired = false;
+  auto id = q.schedule(5, [&] { fired = true; });
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CancelTwiceFails) {
+  EventQueue q;
+  auto id = q.schedule(5, [] {});
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, CancelUnknownIdFails) {
+  EventQueue q;
+  EXPECT_FALSE(q.cancel(9999));
+  EXPECT_FALSE(q.cancel(des::kInvalidEvent));
+}
+
+TEST(EventQueue, CancelledEventSkippedByNextTime) {
+  EventQueue q;
+  auto early = q.schedule(1, [] {});
+  q.schedule(7, [] {});
+  EXPECT_EQ(q.next_time(), 1);
+  q.cancel(early);
+  EXPECT_EQ(q.next_time(), 7);
+}
+
+TEST(EventQueue, NextTimeOnEmptyIsNever) {
+  EventQueue q;
+  EXPECT_EQ(q.next_time(), kTimeNever);
+}
+
+TEST(EventQueue, SizeTracksLiveEvents) {
+  EventQueue q;
+  auto a = q.schedule(1, [] {});
+  q.schedule(2, [] {});
+  EXPECT_EQ(q.size(), 2u);
+  q.cancel(a);
+  EXPECT_EQ(q.size(), 1u);
+  q.pop();
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, PopReturnsTimeAndId) {
+  EventQueue q;
+  auto id = q.schedule(123, [] {});
+  auto fired = q.pop();
+  EXPECT_EQ(fired.time, 123);
+  EXPECT_EQ(fired.id, id);
+}
+
+TEST(EventQueue, ManyCancellationsDoNotDisturbOrder) {
+  EventQueue q;
+  std::vector<des::EventId> ids;
+  ids.reserve(100);
+  for (int i = 0; i < 100; ++i) ids.push_back(q.schedule(i, [] {}));
+  for (int i = 0; i < 100; i += 2) q.cancel(ids[static_cast<size_t>(i)]);
+  des::Time prev = -1;
+  while (!q.empty()) {
+    auto fired = q.pop();
+    EXPECT_GT(fired.time, prev);
+    EXPECT_EQ(fired.time % 2, 1);  // even times were cancelled
+    prev = fired.time;
+  }
+}
+
+}  // namespace

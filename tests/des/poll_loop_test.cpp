@@ -1,0 +1,94 @@
+#include "des/poll_loop.hpp"
+
+#include <gtest/gtest.h>
+
+#include "des/engine.hpp"
+#include "des/sim_thread.hpp"
+
+namespace {
+
+using des::Engine;
+using des::PollLoop;
+using des::SimThread;
+
+TEST(PollLoop, RunsWhileBodyReportsWork) {
+  Engine eng;
+  SimThread th(eng, "t");
+  int remaining = 5;
+  int iterations = 0;
+  PollLoop loop(th, 10, [&]() {
+    ++iterations;
+    return --remaining > 0;
+  });
+  loop.start();
+  eng.run();
+  EXPECT_EQ(iterations, 5);
+  EXPECT_EQ(remaining, 0);
+}
+
+TEST(PollLoop, ParksWhenIdleAndResumesOnWake) {
+  Engine eng;
+  SimThread th(eng, "t");
+  int iterations = 0;
+  PollLoop loop(th, 10, [&]() {
+    ++iterations;
+    return false;  // always idle
+  });
+  loop.start();
+  eng.run();
+  EXPECT_EQ(iterations, 1);
+  EXPECT_TRUE(loop.parked());
+  // A parked loop generates no events: the engine stays drained.
+  EXPECT_EQ(eng.pending_events(), 0u);
+  loop.wake();
+  eng.run();
+  EXPECT_EQ(iterations, 2);
+}
+
+TEST(PollLoop, WakeDuringBodyTriggersAnotherIteration) {
+  Engine eng;
+  SimThread th(eng, "t");
+  int iterations = 0;
+  PollLoop* self = nullptr;
+  PollLoop loop(th, 10, [&]() {
+    ++iterations;
+    if (iterations == 1) self->wake();  // new work arrived mid-poll
+    return false;
+  });
+  self = &loop;
+  loop.start();
+  eng.run();
+  EXPECT_EQ(iterations, 2);
+}
+
+TEST(PollLoop, StopPreventsFurtherIterations) {
+  Engine eng;
+  SimThread th(eng, "t");
+  int iterations = 0;
+  PollLoop loop(th, 10, [&]() {
+    ++iterations;
+    return true;  // would run forever
+  });
+  loop.start();
+  for (int i = 0; i < 20 && eng.step(); ++i) {
+  }
+  loop.stop();
+  eng.run();
+  const int at_stop = iterations;
+  EXPECT_EQ(iterations, at_stop);
+  loop.wake();  // wake after stop is a no-op
+  eng.run();
+  EXPECT_EQ(iterations, at_stop);
+}
+
+TEST(PollLoop, IterationCostOccupiesThread) {
+  Engine eng;
+  SimThread th(eng, "t");
+  int iterations = 0;
+  PollLoop loop(th, 100, [&]() { return ++iterations < 4; });
+  loop.start();
+  eng.run();
+  EXPECT_EQ(th.busy_time(), 400);
+}
+
+}  // namespace

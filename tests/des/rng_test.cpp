@@ -1,0 +1,92 @@
+#include "des/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "des/time.hpp"
+
+namespace {
+
+using des::Rng;
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LE(equal, 1);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng r(99);
+  double sum = 0;
+  constexpr int n = 100000;
+  for (int i = 0; i < n; ++i) sum += r.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng r(5);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(r.below(17), 17u);
+  }
+}
+
+TEST(Rng, BelowCoversAllResidues) {
+  Rng r(5);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(r.below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, DeriveSeedDecorrelatesStreams) {
+  const auto s1 = des::derive_seed(42, 0);
+  const auto s2 = des::derive_seed(42, 1);
+  EXPECT_NE(s1, s2);
+  Rng a(s1), b(s2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LE(equal, 1);
+}
+
+TEST(TimeUtils, FromSecondsRoundTrips) {
+  EXPECT_EQ(des::from_seconds(1.0), des::kSecond);
+  EXPECT_EQ(des::from_seconds(1e-6), des::kMicrosecond);
+  EXPECT_DOUBLE_EQ(des::to_seconds(des::kSecond), 1.0);
+}
+
+TEST(TimeUtils, TransferTimeMatchesRate) {
+  // 12.5 GB/s (100 Gbit/s): 125000 bytes take 10 us.
+  EXPECT_EQ(des::transfer_time(125000, 12.5e9), 10 * des::kMicrosecond);
+  EXPECT_EQ(des::transfer_time(0, 12.5e9), 0);
+  // Tiny transfers round up to at least 1 ns.
+  EXPECT_GE(des::transfer_time(1, 12.5e9), 1);
+}
+
+TEST(TimeUtils, FormatTimePicksUnits) {
+  EXPECT_EQ(des::format_time(5), "5 ns");
+  EXPECT_EQ(des::format_time(12'345), "12.345 us");
+  EXPECT_EQ(des::format_time(12'345'678), "12.346 ms");
+  EXPECT_EQ(des::format_time(12'345'678'901), "12.346 s");
+}
+
+}  // namespace

@@ -1,0 +1,105 @@
+#include "des/sim_thread.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace {
+
+using des::Engine;
+using des::SimThread;
+
+TEST(SimThread, ItemsExecuteSeriallyWithCosts) {
+  Engine eng;
+  SimThread th(eng, "t");
+  std::vector<des::Time> done;
+  th.post_work(100, [&] { done.push_back(eng.now()); });
+  th.post_work(50, [&] { done.push_back(eng.now()); });
+  th.post_work(25, [&] { done.push_back(eng.now()); });
+  eng.run();
+  EXPECT_EQ(done, (std::vector<des::Time>{100, 150, 175}));
+  EXPECT_EQ(th.busy_time(), 175);
+}
+
+TEST(SimThread, ZeroCostPostRunsInOrder) {
+  Engine eng;
+  SimThread th(eng, "t");
+  std::vector<int> order;
+  th.post([&] { order.push_back(1); });
+  th.post([&] { order.push_back(2); });
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(SimThread, ChargeExtendsOccupancy) {
+  Engine eng;
+  SimThread th(eng, "t");
+  std::vector<des::Time> done;
+  th.post_work(10, [&] {
+    th.charge(90);  // discovered work: costs 90 more
+    done.push_back(eng.now());
+  });
+  th.post_work(10, [&] { done.push_back(eng.now()); });
+  eng.run();
+  // First item fires at 10 (its nominal cost); the charge delays the second
+  // item's start to 100, so it completes at 110.
+  EXPECT_EQ(done, (std::vector<des::Time>{10, 110}));
+  EXPECT_EQ(th.busy_time(), 110);
+}
+
+TEST(SimThread, PostFromWithinItemQueuesAfter) {
+  Engine eng;
+  SimThread th(eng, "t");
+  std::vector<des::Time> done;
+  th.post_work(10, [&] {
+    done.push_back(eng.now());
+    th.post_work(5, [&] { done.push_back(eng.now()); });
+  });
+  eng.run();
+  EXPECT_EQ(done, (std::vector<des::Time>{10, 15}));
+}
+
+TEST(SimThread, IdleGapDoesNotCountAsBusy) {
+  Engine eng;
+  SimThread th(eng, "t");
+  th.post_work(10, [] {});
+  eng.run();
+  eng.schedule_at(1000, [&] { th.post_work(10, [] {}); });
+  eng.run();
+  EXPECT_EQ(eng.now(), 1010);
+  EXPECT_EQ(th.busy_time(), 20);
+  EXPECT_NEAR(th.utilization(), 20.0 / 1010.0, 1e-12);
+}
+
+TEST(SimThread, LatePostStartsAtPostTimeNotThreadCreation) {
+  Engine eng;
+  SimThread th(eng, "t");
+  std::vector<des::Time> done;
+  eng.schedule_at(500, [&] { th.post_work(7, [&] { done.push_back(eng.now()); }); });
+  eng.run();
+  EXPECT_EQ(done, (std::vector<des::Time>{507}));
+}
+
+TEST(SimThread, BusyReflectsQueueState) {
+  Engine eng;
+  SimThread th(eng, "t");
+  EXPECT_FALSE(th.busy());
+  th.post_work(10, [] {});
+  EXPECT_TRUE(th.busy());
+  eng.run();
+  EXPECT_FALSE(th.busy());
+}
+
+TEST(SimThread, TwoThreadsRunConcurrentlyInSimTime) {
+  Engine eng;
+  SimThread a(eng, "a");
+  SimThread b(eng, "b");
+  std::vector<des::Time> done;
+  a.post_work(100, [&] { done.push_back(eng.now()); });
+  b.post_work(100, [&] { done.push_back(eng.now()); });
+  eng.run();
+  // Independent threads overlap: both finish at t=100.
+  EXPECT_EQ(done, (std::vector<des::Time>{100, 100}));
+}
+
+}  // namespace

@@ -1,0 +1,61 @@
+#include "hicma/rank_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using hicma::RankModel;
+
+TEST(RankModel, CalibratedToPaperStatistics) {
+  // §6.4.2 at tile 1200, accuracy 1e-8, N = 360,000 (nt = 300):
+  // average rank 10.44, largest low-rank tile rank 29.
+  RankModel m;
+  m.tile_size = 1200;
+  m.maxrank = 150;
+  const double mean = m.mean_rank(300);
+  EXPECT_NEAR(mean, 10.44, 1.2);
+  int max_rank = 0;
+  for (int i = 1; i < 300; ++i) {
+    for (int j = 0; j < i; ++j) max_rank = std::max(max_rank, m.rank(i, j));
+  }
+  EXPECT_NEAR(max_rank, 29, 4);
+}
+
+TEST(RankModel, RankDecaysWithDistanceFromDiagonal) {
+  RankModel m;
+  m.jitter = 0.0;
+  EXPECT_GT(m.rank(1, 0), m.rank(10, 0));
+  EXPECT_GT(m.rank(10, 0), m.rank(200, 0));
+  EXPECT_GE(m.rank(299, 0), 1);
+}
+
+TEST(RankModel, LargerTilesCarryHigherRank) {
+  RankModel small, large;
+  small.tile_size = 1200;
+  large.tile_size = 4800;
+  small.jitter = large.jitter = 0.0;
+  EXPECT_GT(large.rank(5, 0), small.rank(5, 0));
+}
+
+TEST(RankModel, MaxrankCaps) {
+  RankModel m;
+  m.maxrank = 5;
+  for (int i = 1; i < 50; ++i) EXPECT_LE(m.rank(i, 0), 5);
+}
+
+TEST(RankModel, DeterministicPerTile) {
+  RankModel m;
+  EXPECT_EQ(m.rank(7, 3), m.rank(7, 3));
+}
+
+TEST(RankModel, FactorBytesMatchPackedLayout) {
+  RankModel m;
+  m.tile_size = 1200;
+  // Rank 29 => one factor = 1200 * 29 * 8 bytes; U + V together = 544 KiB
+  // (the paper's largest low-rank tile).
+  EXPECT_EQ(2 * m.factor_bytes(29), 2ull * 1200 * 29 * 8);
+  EXPECT_NEAR(static_cast<double>(2 * m.factor_bytes(29)) / 1024.0, 544.0,
+              1.0);
+}
+
+}  // namespace

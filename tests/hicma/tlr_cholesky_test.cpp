@@ -1,0 +1,207 @@
+#include "hicma/tlr_cholesky.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "hicma/driver.hpp"
+
+namespace {
+
+using ce::BackendKind;
+using hicma::ExperimentConfig;
+using hicma::run_tlr_cholesky;
+using hicma::TlrCholeskyGraph;
+using hicma::TlrOptions;
+
+TlrOptions real_options(int n, int nb) {
+  TlrOptions o;
+  o.mode = TlrOptions::Mode::Real;
+  o.n = n;
+  o.nb = nb;
+  o.accuracy = 1e-9;
+  o.maxrank = nb;  // uncapped at test scale
+  o.problem.length_scale = 0.2;
+  o.problem.noise = 0.05;  // healthy SPD margin at small N
+  return o;
+}
+
+TEST(TlrGraphShape, TaskCountFormula) {
+  TlrOptions o;
+  o.mode = TlrOptions::Mode::Model;
+  o.n = 12000;
+  o.nb = 1200;  // nt = 10
+  TlrCholeskyGraph g(o, 4);
+  // nt=10: 10 diag + 45 cmpr + 10 potrf + 45 trsm + 45 syrk + 120 gemm
+  EXPECT_EQ(g.total_tasks(), 10u + 45 + 10 + 45 + 45 + 120);
+}
+
+TEST(TlrGraphShape, PaperScaleTaskCountMatchesText) {
+  // §6.4.2: tile 6000 on N=360,000 gives 60 tiles/dim, 1830 tiles total
+  // on/below the diagonal, and ~37,820 tasks.
+  TlrOptions o;
+  o.mode = TlrOptions::Mode::Model;
+  o.n = 360000;
+  o.nb = 6000;
+  TlrCholeskyGraph g(o, 16);
+  EXPECT_EQ(g.total_tasks(),
+            60u + 1770 + 60 + 1770 + 1770 + 60u * 59 * 58 / 6);
+  EXPECT_NEAR(static_cast<double>(g.total_tasks()), 37820.0, 2000.0);
+}
+
+TEST(TlrGraphShape, EveryTaskHasAnOwnerInRange) {
+  TlrOptions o;
+  o.mode = TlrOptions::Mode::Model;
+  o.n = 9600;
+  o.nb = 1200;
+  TlrCholeskyGraph g(o, 6);
+  const int nt = o.nt();
+  for (int i = 0; i < nt; ++i) {
+    for (int j = 0; j <= i; ++j) {
+      for (int cls : {hicma::kDiag, hicma::kPotrf, hicma::kTrsm,
+                      hicma::kSyrk}) {
+        const amt::TaskKey t{cls, i, j};
+        EXPECT_GE(g.rank_of(t), 0);
+        EXPECT_LT(g.rank_of(t), 6);
+      }
+    }
+  }
+}
+
+TEST(TlrGraphShape, SuccessorInputIndicesAreConsistent) {
+  // For every task and output flow, each successor must list an input
+  // index < its num_inputs, and flow fan-ins must be unique.
+  TlrOptions o;
+  o.mode = TlrOptions::Mode::Model;
+  o.n = 8400;
+  o.nb = 1200;  // nt = 7
+  TlrCholeskyGraph g(o, 4);
+  const int nt = o.nt();
+  std::map<std::pair<std::array<int, 4>, int>, int> fanin;
+  auto visit = [&](const amt::TaskKey& t) {
+    std::vector<amt::Dep> deps;
+    for (int f = 0; f < g.num_outputs(t); ++f) {
+      deps.clear();
+      g.successors(t, f, deps);
+      for (const auto& d : deps) {
+        EXPECT_LT(d.input, g.num_inputs(d.task));
+        EXPECT_GE(d.input, 0);
+        const std::array<int, 4> key{d.task.cls, d.task.i, d.task.j,
+                                     d.task.k};
+        ++fanin[{key, d.input}];
+      }
+    }
+  };
+  for (int i = 0; i < nt; ++i) {
+    visit({hicma::kDiag, i});
+    visit({hicma::kPotrf, i});
+    for (int j = 0; j < i; ++j) {
+      visit({hicma::kCmpr, i, j});
+      visit({hicma::kTrsm, i, j});
+      visit({hicma::kSyrk, i, j});
+      for (int k = 0; k < j; ++k) visit({hicma::kGemm, i, j, k});
+    }
+  }
+  // Every (task, input) port is fed exactly once, and the total number of
+  // fed ports equals the sum of num_inputs over all tasks.
+  std::uint64_t expected_ports = 0;
+  for (int i = 0; i < nt; ++i) {
+    expected_ports += static_cast<std::uint64_t>(
+        g.num_inputs({hicma::kPotrf, i}));
+    for (int j = 0; j < i; ++j) {
+      expected_ports +=
+          static_cast<std::uint64_t>(g.num_inputs({hicma::kTrsm, i, j})) +
+          static_cast<std::uint64_t>(g.num_inputs({hicma::kSyrk, i, j}));
+      for (int k = 0; k < j; ++k) {
+        expected_ports += static_cast<std::uint64_t>(
+            g.num_inputs({hicma::kGemm, i, j, k}));
+      }
+    }
+  }
+  std::uint64_t fed = 0;
+  for (const auto& [port, count] : fanin) {
+    EXPECT_EQ(count, 1) << "port fed " << count << " times";
+    ++fed;
+  }
+  EXPECT_EQ(fed, expected_ports);
+}
+
+class TlrRealCorrectness
+    : public ::testing::TestWithParam<std::tuple<int, int, BackendKind>> {};
+
+TEST_P(TlrRealCorrectness, FactorizationResidualIsSmall) {
+  const auto [nt, nodes, kind] = GetParam();
+  const int nb = 32;
+  ExperimentConfig cfg;
+  cfg.nodes = nodes;
+  cfg.backend = kind;
+  cfg.tlr = real_options(nt * nb, nb);
+  cfg.workers_override = 4;
+  const auto res = run_tlr_cholesky(cfg);
+  EXPECT_EQ(res.tasks, TlrCholeskyGraph(cfg.tlr, nodes).total_tasks());
+  EXPECT_GE(res.residual, 0.0);
+  EXPECT_LT(res.residual, 1e-6)
+      << "TLR factorization residual too large";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TlrRealCorrectness,
+    ::testing::Combine(::testing::Values(2, 4, 6), ::testing::Values(1, 4),
+                       ::testing::Values(BackendKind::Mpi, BackendKind::Lci)),
+    [](const auto& info) {
+      return "nt" + std::to_string(std::get<0>(info.param)) + "_nodes" +
+             std::to_string(std::get<1>(info.param)) +
+             (std::get<2>(info.param) == BackendKind::Mpi ? "_Mpi" : "_Lci");
+    });
+
+TEST(TlrRealAccuracy, LooserAccuracyGivesLargerResidualAndLowerRank) {
+  auto run_at = [&](double acc) {
+    ExperimentConfig cfg;
+    cfg.nodes = 2;
+    cfg.backend = BackendKind::Lci;
+    cfg.tlr = real_options(160, 32);
+    cfg.tlr.accuracy = acc;
+    cfg.workers_override = 2;
+    return run_tlr_cholesky(cfg);
+  };
+  const auto tight = run_at(1e-10);
+  const auto loose = run_at(1e-3);
+  EXPECT_LT(tight.residual, loose.residual + 1e-12);
+  EXPECT_GE(tight.mean_rank, loose.mean_rank);
+}
+
+TEST(TlrModel, ModelModeRunsPaperTileAtSmallN) {
+  ExperimentConfig cfg;
+  cfg.nodes = 4;
+  cfg.backend = BackendKind::Lci;
+  cfg.tlr.mode = TlrOptions::Mode::Model;
+  cfg.tlr.n = 48000;
+  cfg.tlr.nb = 2400;  // nt = 20
+  cfg.workers_override = 16;
+  const auto res = run_tlr_cholesky(cfg);
+  EXPECT_GT(res.tts_s, 0.0);
+  EXPECT_GT(res.latency.count, 0u);
+  EXPECT_GT(res.fabric_bytes, 0u);
+  EXPECT_GT(res.mean_rank, 1.0);
+}
+
+TEST(TlrModel, BothBackendsMoveIdenticalLogicalTraffic) {
+  auto run_kind = [&](BackendKind kind) {
+    ExperimentConfig cfg;
+    cfg.nodes = 4;
+    cfg.backend = kind;
+    cfg.tlr.mode = TlrOptions::Mode::Model;
+    cfg.tlr.n = 24000;
+    cfg.tlr.nb = 2400;
+    cfg.workers_override = 8;
+    return run_tlr_cholesky(cfg);
+  };
+  const auto mpi = run_kind(BackendKind::Mpi);
+  const auto lci = run_kind(BackendKind::Lci);
+  // The task graph and data distribution are backend-independent.
+  EXPECT_EQ(mpi.tasks, lci.tasks);
+  EXPECT_EQ(mpi.runtime_stats.data_arrivals, lci.runtime_stats.data_arrivals);
+  EXPECT_EQ(mpi.runtime_stats.getdata_sent, lci.runtime_stats.getdata_sent);
+}
+
+}  // namespace

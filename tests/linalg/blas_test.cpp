@@ -1,0 +1,158 @@
+#include "linalg/blas.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "des/rng.hpp"
+
+namespace {
+
+using linalg::Matrix;
+using linalg::Trans;
+
+Matrix random_matrix(int m, int n, std::uint64_t seed) {
+  des::Rng rng(seed);
+  Matrix a(m, n);
+  for (int j = 0; j < n; ++j) {
+    for (int i = 0; i < m; ++i) a(i, j) = rng.uniform(-1.0, 1.0);
+  }
+  return a;
+}
+
+Matrix random_spd(int n, std::uint64_t seed) {
+  Matrix b = random_matrix(n, n, seed);
+  Matrix a(n, n);
+  linalg::gemm(1.0, b, Trans::No, b, Trans::Yes, 0.0, a);
+  for (int i = 0; i < n; ++i) a(i, i) += static_cast<double>(n);
+  return a;
+}
+
+TEST(Blas, GemmMatchesManualReference) {
+  const Matrix a = random_matrix(4, 3, 1);
+  const Matrix b = random_matrix(3, 5, 2);
+  Matrix c(4, 5);
+  linalg::gemm(2.0, a, Trans::No, b, Trans::No, 0.0, c);
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 5; ++j) {
+      double s = 0;
+      for (int l = 0; l < 3; ++l) s += a(i, l) * b(l, j);
+      EXPECT_NEAR(c(i, j), 2.0 * s, 1e-12);
+    }
+  }
+}
+
+TEST(Blas, GemmTransposeVariantsAgree) {
+  const Matrix a = random_matrix(4, 3, 3);
+  const Matrix b = random_matrix(3, 5, 4);
+  Matrix c_nn(4, 5), c_tn(4, 5), c_nt(4, 5), c_tt(4, 5);
+  linalg::gemm(1.0, a, Trans::No, b, Trans::No, 0.0, c_nn);
+  linalg::gemm(1.0, a.transposed(), Trans::Yes, b, Trans::No, 0.0, c_tn);
+  linalg::gemm(1.0, a, Trans::No, b.transposed(), Trans::Yes, 0.0, c_nt);
+  linalg::gemm(1.0, a.transposed(), Trans::Yes, b.transposed(), Trans::Yes,
+               0.0, c_tt);
+  EXPECT_LT(linalg::frobenius_diff(c_nn, c_tn), 1e-12);
+  EXPECT_LT(linalg::frobenius_diff(c_nn, c_nt), 1e-12);
+  EXPECT_LT(linalg::frobenius_diff(c_nn, c_tt), 1e-12);
+}
+
+TEST(Blas, GemmAccumulatesWithBeta) {
+  const Matrix a = random_matrix(3, 3, 5);
+  const Matrix b = random_matrix(3, 3, 6);
+  Matrix c = random_matrix(3, 3, 7);
+  const Matrix c0 = c;
+  linalg::gemm(1.0, a, Trans::No, b, Trans::No, 1.0, c);
+  Matrix prod(3, 3);
+  linalg::gemm(1.0, a, Trans::No, b, Trans::No, 0.0, prod);
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      EXPECT_NEAR(c(i, j), c0(i, j) + prod(i, j), 1e-12);
+    }
+  }
+}
+
+TEST(Blas, SyrkLowerMatchesGemm) {
+  const Matrix a = random_matrix(5, 3, 8);
+  Matrix c1(5, 5), c2(5, 5);
+  linalg::syrk_lower(-1.0, a, 1.0, c1);
+  linalg::gemm(-1.0, a, Trans::No, a, Trans::Yes, 1.0, c2);
+  EXPECT_LT(linalg::frobenius_diff(c1, c2), 1e-12);
+}
+
+TEST(Blas, TrsmLeftLowerSolves) {
+  Matrix a = random_spd(6, 9);
+  Matrix l = a;
+  ASSERT_TRUE(linalg::potrf_lower(l));
+  const Matrix b = random_matrix(6, 4, 10);
+  Matrix x = b;
+  linalg::trsm_left_lower(l, x);
+  Matrix lx(6, 4);
+  linalg::gemm(1.0, l, Trans::No, x, Trans::No, 0.0, lx);
+  EXPECT_LT(linalg::frobenius_diff(lx, b), 1e-10);
+}
+
+TEST(Blas, TrsmRightLowerTransSolves) {
+  Matrix a = random_spd(5, 11);
+  Matrix l = a;
+  ASSERT_TRUE(linalg::potrf_lower(l));
+  const Matrix b = random_matrix(7, 5, 12);
+  Matrix x = b;
+  linalg::trsm_right_lower_trans(l, x);
+  Matrix xlt(7, 5);
+  linalg::gemm(1.0, x, Trans::No, l, Trans::Yes, 0.0, xlt);
+  EXPECT_LT(linalg::frobenius_diff(xlt, b), 1e-10);
+}
+
+TEST(Blas, PotrfReconstructs) {
+  Matrix a = random_spd(8, 13);
+  Matrix l = a;
+  ASSERT_TRUE(linalg::potrf_lower(l));
+  Matrix llt(8, 8);
+  linalg::gemm(1.0, l, Trans::No, l, Trans::Yes, 0.0, llt);
+  EXPECT_LT(linalg::frobenius_diff(llt, a) / linalg::frobenius_norm(a),
+            1e-12);
+}
+
+TEST(Blas, PotrfRejectsIndefinite) {
+  Matrix a(3, 3);
+  a(0, 0) = 1;
+  a(1, 1) = -1;  // indefinite
+  a(2, 2) = 1;
+  EXPECT_FALSE(linalg::potrf_lower(a));
+}
+
+TEST(Blas, QrThinReconstructsAndIsOrthonormal) {
+  const Matrix a = random_matrix(10, 4, 14);
+  Matrix q, r;
+  linalg::qr_thin(a, q, r);
+  ASSERT_EQ(q.rows(), 10);
+  ASSERT_EQ(q.cols(), 4);
+  Matrix qr(10, 4);
+  linalg::gemm(1.0, q, Trans::No, r, Trans::No, 0.0, qr);
+  EXPECT_LT(linalg::frobenius_diff(qr, a), 1e-10);
+  Matrix qtq(4, 4);
+  linalg::gemm(1.0, q, Trans::Yes, q, Trans::No, 0.0, qtq);
+  EXPECT_LT(linalg::frobenius_diff(qtq, Matrix::identity(4)), 1e-10);
+  // R upper triangular.
+  for (int j = 0; j < 4; ++j) {
+    for (int i = j + 1; i < 4; ++i) EXPECT_EQ(r.cols(), 4);
+  }
+}
+
+class BlasSquareSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(BlasSquareSweep, PotrfTrsmRoundTrip) {
+  const int n = GetParam();
+  Matrix a = random_spd(n, static_cast<std::uint64_t>(n) * 31);
+  Matrix l = a;
+  ASSERT_TRUE(linalg::potrf_lower(l));
+  Matrix llt(n, n);
+  linalg::gemm(1.0, l, Trans::No, l, Trans::Yes, 0.0, llt);
+  EXPECT_LT(linalg::frobenius_diff(llt, a) / linalg::frobenius_norm(a),
+            1e-11);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BlasSquareSweep,
+                         ::testing::Values(1, 2, 3, 5, 16, 33, 64));
+
+}  // namespace

@@ -1,0 +1,120 @@
+#include "linalg/hcore.hpp"
+
+#include <gtest/gtest.h>
+
+#include "des/rng.hpp"
+#include "linalg/blas.hpp"
+
+namespace {
+
+using linalg::compress;
+using linalg::CompressOptions;
+using linalg::lr_to_dense;
+using linalg::LrTile;
+using linalg::Matrix;
+using linalg::Trans;
+
+constexpr CompressOptions kOpts{.accuracy = 1e-12, .maxrank = 0};
+
+Matrix random_matrix(int m, int n, std::uint64_t seed) {
+  des::Rng rng(seed);
+  Matrix a(m, n);
+  for (int j = 0; j < n; ++j) {
+    for (int i = 0; i < m; ++i) a(i, j) = rng.uniform(-1.0, 1.0);
+  }
+  return a;
+}
+
+Matrix random_lowrank(int m, int n, int r, std::uint64_t seed) {
+  Matrix u = random_matrix(m, r, seed);
+  Matrix v = random_matrix(n, r, seed + 1);
+  Matrix a(m, n);
+  linalg::gemm(1.0, u, Trans::No, v, Trans::Yes, 0.0, a);
+  return a;
+}
+
+Matrix random_lower_spd_chol(int n, std::uint64_t seed) {
+  Matrix b = random_matrix(n, n, seed);
+  Matrix a(n, n);
+  linalg::gemm(1.0, b, Trans::No, b, Trans::Yes, 0.0, a);
+  for (int i = 0; i < n; ++i) a(i, i) += n;
+  EXPECT_TRUE(linalg::potrf_lower(a));
+  return a;
+}
+
+TEST(Hcore, LrTrsmMatchesDenseTrsm) {
+  const int nb = 16;
+  const Matrix a = random_lowrank(nb, nb, 3, 41);
+  const Matrix l = random_lower_spd_chol(nb, 43);
+  // Dense reference: A <- A L^{-T}.
+  Matrix dense = a;
+  linalg::trsm_right_lower_trans(l, dense);
+  // TLR version.
+  LrTile t = compress(a, kOpts);
+  linalg::lr_trsm(l, t);
+  EXPECT_LT(linalg::frobenius_diff(lr_to_dense(t), dense), 1e-8);
+}
+
+TEST(Hcore, LrSyrkMatchesDenseSyrk) {
+  const int nb = 16;
+  const Matrix a = random_lowrank(nb, nb, 4, 44);
+  Matrix c_dense = random_matrix(nb, nb, 46);
+  // Symmetrize C so mirror-updates compare cleanly.
+  for (int j = 0; j < nb; ++j) {
+    for (int i = 0; i < j; ++i) c_dense(i, j) = c_dense(j, i);
+  }
+  Matrix c_ref = c_dense;
+  linalg::gemm(-1.0, a, Trans::No, a, Trans::Yes, 1.0, c_ref);
+  const LrTile t = compress(a, kOpts);
+  linalg::lr_syrk(t, c_dense);
+  EXPECT_LT(linalg::frobenius_diff(c_dense, c_ref), 1e-8);
+}
+
+TEST(Hcore, LrGemmMatchesDenseGemm) {
+  const int nb = 16;
+  const Matrix a = random_lowrank(nb, nb, 3, 47);
+  const Matrix b = random_lowrank(nb, nb, 2, 49);
+  const Matrix c = random_lowrank(nb, nb, 4, 51);
+  Matrix c_ref = c;
+  linalg::gemm(-1.0, a, Trans::No, b, Trans::Yes, 1.0, c_ref);
+
+  const LrTile ta = compress(a, kOpts);
+  const LrTile tb = compress(b, kOpts);
+  LrTile tc = compress(c, kOpts);
+  linalg::lr_gemm(ta, tb, tc, kOpts);
+  EXPECT_LT(linalg::frobenius_diff(lr_to_dense(tc), c_ref), 1e-7);
+}
+
+TEST(Hcore, LrGemmRecompressionKeepsRankBounded) {
+  const int nb = 24;
+  const CompressOptions loose{.accuracy = 1e-6, .maxrank = 8};
+  LrTile c = compress(random_lowrank(nb, nb, 4, 53), loose);
+  for (int iter = 0; iter < 5; ++iter) {
+    const LrTile a = compress(
+        random_lowrank(nb, nb, 3, 55 + static_cast<std::uint64_t>(iter)),
+        loose);
+    const LrTile b = compress(
+        random_lowrank(nb, nb, 3, 75 + static_cast<std::uint64_t>(iter)),
+        loose);
+    linalg::lr_gemm(a, b, c, loose);
+    EXPECT_LE(c.rank(), 8);
+  }
+}
+
+TEST(HcoreFlops, CountsArePositiveAndMonotonic) {
+  namespace f = linalg::flops;
+  EXPECT_GT(f::potrf(100), 0.0);
+  EXPECT_GT(f::potrf(200), f::potrf(100));
+  EXPECT_GT(f::trsm(100, 100), 0.0);
+  EXPECT_GT(f::gemm(100, 100, 100), f::syrk(100, 100));
+  EXPECT_GT(f::total(f::lr_gemm(1200, 20, 20, 20)),
+            f::total(f::lr_gemm(1200, 10, 10, 10)));
+  EXPECT_GT(f::total(f::lr_syrk(1200, 10)), 0.0);
+  EXPECT_GT(f::total(f::lr_trsm(1200, 10)), 0.0);
+  // The TLR point: at realistic ranks the LR GEMM is orders of magnitude
+  // cheaper than the dense one.
+  EXPECT_LT(f::total(f::lr_gemm(1200, 10, 10, 10)),
+            f::gemm(1200, 1200, 1200) / 100.0);
+}
+
+}  // namespace

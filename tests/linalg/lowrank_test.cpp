@@ -1,0 +1,108 @@
+#include "linalg/lowrank.hpp"
+
+#include <gtest/gtest.h>
+
+#include "des/rng.hpp"
+#include "linalg/blas.hpp"
+#include "linalg/starsh.hpp"
+
+namespace {
+
+using linalg::compress;
+using linalg::CompressOptions;
+using linalg::lr_to_dense;
+using linalg::LrTile;
+using linalg::Matrix;
+using linalg::Trans;
+
+Matrix random_lowrank(int m, int n, int r, std::uint64_t seed) {
+  des::Rng rng(seed);
+  Matrix u(m, r), v(n, r);
+  for (int j = 0; j < r; ++j) {
+    for (int i = 0; i < m; ++i) u(i, j) = rng.uniform(-1.0, 1.0);
+    for (int i = 0; i < n; ++i) v(i, j) = rng.uniform(-1.0, 1.0);
+  }
+  Matrix a(m, n);
+  linalg::gemm(1.0, u, Trans::No, v, Trans::Yes, 0.0, a);
+  return a;
+}
+
+TEST(LowRank, CompressRecoversExactRank) {
+  const Matrix a = random_lowrank(24, 20, 3, 31);
+  const LrTile t = compress(a, {.accuracy = 1e-10, .maxrank = 0});
+  EXPECT_EQ(t.rank(), 3);
+  EXPECT_LT(linalg::frobenius_diff(lr_to_dense(t), a), 1e-8);
+}
+
+TEST(LowRank, CompressionErrorBoundedByAccuracy) {
+  // A covariance block: numerically low rank with fast decay.
+  linalg::SqExpProblem prob;
+  prob.n = 64;
+  const auto pts = linalg::sqexp_points(prob);
+  const Matrix a = linalg::sqexp_block(prob, pts, 0, 32, 32, 32);
+  for (const double acc : {1e-2, 1e-4, 1e-6, 1e-8}) {
+    const LrTile t = compress(a, {.accuracy = acc, .maxrank = 0});
+    const double err = linalg::frobenius_diff(lr_to_dense(t), a);
+    // Truncated singular values are each < acc; the Frobenius error is
+    // bounded by sqrt(count) * acc.
+    EXPECT_LT(err, acc * 8) << "accuracy " << acc;
+  }
+}
+
+TEST(LowRank, TighterAccuracyGivesHigherRank) {
+  linalg::SqExpProblem prob;
+  prob.n = 64;
+  const auto pts = linalg::sqexp_points(prob);
+  const Matrix a = linalg::sqexp_block(prob, pts, 0, 32, 32, 32);
+  const LrTile loose = compress(a, {.accuracy = 1e-2, .maxrank = 0});
+  const LrTile tight = compress(a, {.accuracy = 1e-10, .maxrank = 0});
+  EXPECT_LT(loose.rank(), tight.rank());
+}
+
+TEST(LowRank, MaxrankCapsRank) {
+  const Matrix a = random_lowrank(16, 16, 10, 33);
+  const LrTile t = compress(a, {.accuracy = 1e-14, .maxrank = 4});
+  EXPECT_EQ(t.rank(), 4);
+}
+
+TEST(LowRank, BytesMatchesPackedUxVFootprint) {
+  const Matrix a = random_lowrank(30, 20, 5, 34);
+  const LrTile t = compress(a, {.accuracy = 1e-10, .maxrank = 0});
+  EXPECT_EQ(t.bytes(), (30u + 20u) * 5u * sizeof(double));
+}
+
+TEST(LowRank, RecompressReducesInflatedRank) {
+  const Matrix a = random_lowrank(20, 20, 2, 35);
+  LrTile t = compress(a, {.accuracy = 1e-12, .maxrank = 0});
+  // Inflate artificially: duplicate factors with opposite signs added.
+  LrTile inflated;
+  inflated.u = Matrix(20, t.rank() * 2);
+  inflated.v = Matrix(20, t.rank() * 2);
+  for (int j = 0; j < t.rank(); ++j) {
+    for (int i = 0; i < 20; ++i) {
+      inflated.u(i, j) = t.u(i, j);
+      inflated.u(i, t.rank() + j) = 0.5 * t.u(i, j);
+      inflated.v(i, j) = t.v(i, j);
+      inflated.v(i, t.rank() + j) = t.v(i, j);
+    }
+  }
+  const Matrix dense_before = lr_to_dense(inflated);
+  linalg::recompress(inflated, {.accuracy = 1e-10, .maxrank = 0});
+  EXPECT_EQ(inflated.rank(), 2);
+  EXPECT_LT(linalg::frobenius_diff(lr_to_dense(inflated), dense_before),
+            1e-8);
+}
+
+TEST(LowRank, AxpySubtractsInFactoredForm) {
+  const Matrix a = random_lowrank(16, 16, 3, 36);
+  const Matrix b = random_lowrank(16, 16, 2, 37);
+  const CompressOptions opts{.accuracy = 1e-12, .maxrank = 0};
+  LrTile ta = compress(a, opts);
+  const LrTile tb = compress(b, opts);
+  linalg::lr_axpy(ta, -1.0, tb, opts);
+  Matrix expect = a;
+  linalg::gemm(-1.0, tb.u, Trans::No, tb.v, Trans::Yes, 1.0, expect);
+  EXPECT_LT(linalg::frobenius_diff(lr_to_dense(ta), expect), 1e-8);
+}
+
+}  // namespace

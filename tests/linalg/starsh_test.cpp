@@ -1,0 +1,99 @@
+#include "linalg/starsh.hpp"
+
+#include <gtest/gtest.h>
+
+#include "linalg/blas.hpp"
+#include "linalg/lowrank.hpp"
+
+namespace {
+
+using linalg::Matrix;
+using linalg::SqExpProblem;
+
+TEST(Starsh, PointsCoverUnitSquare) {
+  SqExpProblem p;
+  p.n = 100;
+  const auto pts = linalg::sqexp_points(p);
+  ASSERT_EQ(pts.size(), 100u);
+  for (const auto& [x, y] : pts) {
+    EXPECT_GT(x, -0.2);
+    EXPECT_LT(x, 1.2);
+    EXPECT_GT(y, -0.2);
+    EXPECT_LT(y, 1.2);
+  }
+}
+
+TEST(Starsh, PointsAreDeterministicPerSeed) {
+  SqExpProblem p;
+  p.n = 50;
+  const auto a = linalg::sqexp_points(p);
+  const auto b = linalg::sqexp_points(p);
+  EXPECT_EQ(a, b);
+  p.seed = 43;
+  const auto c = linalg::sqexp_points(p);
+  EXPECT_NE(a, c);
+}
+
+TEST(Starsh, CovarianceIsSymmetricWithUnitPlusNoiseDiagonal) {
+  SqExpProblem p;
+  p.n = 36;
+  const auto pts = linalg::sqexp_points(p);
+  const Matrix a = linalg::sqexp_block(p, pts, 0, 36, 0, 36);
+  for (int i = 0; i < 36; ++i) {
+    EXPECT_NEAR(a(i, i), 1.0 + p.noise, 1e-12);
+    for (int j = 0; j < i; ++j) {
+      EXPECT_NEAR(a(i, j), a(j, i), 1e-12);
+      EXPECT_GT(a(i, j), 0.0);
+      EXPECT_LE(a(i, j), 1.0);
+    }
+  }
+}
+
+TEST(Starsh, MatrixIsPositiveDefinite) {
+  SqExpProblem p;
+  p.n = 64;
+  const auto pts = linalg::sqexp_points(p);
+  Matrix a = linalg::sqexp_block(p, pts, 0, 64, 0, 64);
+  EXPECT_TRUE(linalg::potrf_lower(a));
+}
+
+TEST(Starsh, OffDiagonalBlocksAreLowRank) {
+  // The property HiCMA exploits: blocks far from the diagonal compress to
+  // small rank at fixed accuracy, and rank decays with distance.
+  SqExpProblem p;
+  p.n = 256;
+  const auto pts = linalg::sqexp_points(p);
+  const linalg::CompressOptions opts{.accuracy = 1e-8, .maxrank = 0};
+  // Blocks separated from the diagonal by 0.25 resp. 0.5 in space
+  // (row-major grid ordering: 64 indices = a quarter of the unit square).
+  const Matrix near = linalg::sqexp_block(p, pts, 128, 64, 0, 64);
+  const Matrix far = linalg::sqexp_block(p, pts, 192, 64, 0, 64);
+  const auto t_near = linalg::compress(near, opts);
+  const auto t_far = linalg::compress(far, opts);
+  EXPECT_LT(t_near.rank(), 64);
+  EXPECT_LE(t_far.rank(), t_near.rank());
+  // Compression must still be accurate.
+  EXPECT_LT(linalg::frobenius_diff(linalg::lr_to_dense(t_far), far), 1e-6);
+}
+
+TEST(Starsh, VeryShortLengthScaleDecorrelatesSeparatedBlocks) {
+  // For blocks well separated in space, a very short correlation length
+  // makes the covariance block numerically zero => rank collapses, while
+  // a moderate length scale keeps genuine structure => higher rank.
+  SqExpProblem moderate;
+  moderate.n = 256;
+  moderate.length_scale = 0.15;
+  SqExpProblem rough = moderate;
+  rough.length_scale = 0.02;
+  const auto pts_m = linalg::sqexp_points(moderate);
+  const auto pts_r = linalg::sqexp_points(rough);
+  const linalg::CompressOptions opts{.accuracy = 1e-8, .maxrank = 0};
+  const auto t_m = linalg::compress(
+      linalg::sqexp_block(moderate, pts_m, 192, 64, 0, 64), opts);
+  const auto t_r = linalg::compress(
+      linalg::sqexp_block(rough, pts_r, 192, 64, 0, 64), opts);
+  EXPECT_GT(t_m.rank(), t_r.rank());
+  EXPECT_LE(t_r.rank(), 2);
+}
+
+}  // namespace
