@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_backend_features.dir/abl_backend_features.cpp.o"
+  "CMakeFiles/abl_backend_features.dir/abl_backend_features.cpp.o.d"
+  "abl_backend_features"
+  "abl_backend_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_backend_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2a_pingpong_bw.dir/fig2a_pingpong_bw.cpp.o"
+  "CMakeFiles/fig2a_pingpong_bw.dir/fig2a_pingpong_bw.cpp.o.d"
+  "fig2a_pingpong_bw"
+  "fig2a_pingpong_bw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2a_pingpong_bw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2b_bidir_bw.dir/fig2b_bidir_bw.cpp.o"
+  "CMakeFiles/fig2b_bidir_bw.dir/fig2b_bidir_bw.cpp.o.d"
+  "fig2b_bidir_bw"
+  "fig2b_bidir_bw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2b_bidir_bw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_overlap.dir/fig3_overlap.cpp.o"
+  "CMakeFiles/fig3_overlap.dir/fig3_overlap.cpp.o.d"
+  "fig3_overlap"
+  "fig3_overlap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_overlap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig5_strong_scaling.cpp" "bench/CMakeFiles/fig5_strong_scaling.dir/fig5_strong_scaling.cpp.o" "gcc" "bench/CMakeFiles/fig5_strong_scaling.dir/fig5_strong_scaling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bench_util/CMakeFiles/amtlce_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/hicma/CMakeFiles/amtlce_hicma.dir/DependInfo.cmake"
+  "/root/repo/build/src/amt/CMakeFiles/amtlce_amt.dir/DependInfo.cmake"
+  "/root/repo/build/src/ce/CMakeFiles/amtlce_ce.dir/DependInfo.cmake"
+  "/root/repo/build/src/mmpi/CMakeFiles/amtlce_mmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/mlci/CMakeFiles/amtlce_mlci.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/amtlce_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/amtlce_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/des/CMakeFiles/amtlce_des.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comm_thread_study.dir/comm_thread_study.cpp.o"
+  "CMakeFiles/comm_thread_study.dir/comm_thread_study.cpp.o.d"
+  "comm_thread_study"
+  "comm_thread_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comm_thread_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

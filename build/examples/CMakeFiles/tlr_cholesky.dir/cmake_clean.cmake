@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlr_cholesky.dir/tlr_cholesky.cpp.o"
+  "CMakeFiles/tlr_cholesky.dir/tlr_cholesky.cpp.o.d"
+  "tlr_cholesky"
+  "tlr_cholesky.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlr_cholesky.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

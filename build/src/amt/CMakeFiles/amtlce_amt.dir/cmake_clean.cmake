@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amtlce_amt.dir/node_runtime.cpp.o"
+  "CMakeFiles/amtlce_amt.dir/node_runtime.cpp.o.d"
+  "CMakeFiles/amtlce_amt.dir/runtime.cpp.o"
+  "CMakeFiles/amtlce_amt.dir/runtime.cpp.o.d"
+  "libamtlce_amt.a"
+  "libamtlce_amt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amtlce_amt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amtlce_bench_util.dir/harness.cpp.o"
+  "CMakeFiles/amtlce_bench_util.dir/harness.cpp.o.d"
+  "CMakeFiles/amtlce_bench_util.dir/pingpong_graph.cpp.o"
+  "CMakeFiles/amtlce_bench_util.dir/pingpong_graph.cpp.o.d"
+  "libamtlce_bench_util.a"
+  "libamtlce_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amtlce_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amtlce_ce.dir/lci_backend.cpp.o"
+  "CMakeFiles/amtlce_ce.dir/lci_backend.cpp.o.d"
+  "CMakeFiles/amtlce_ce.dir/mpi_backend.cpp.o"
+  "CMakeFiles/amtlce_ce.dir/mpi_backend.cpp.o.d"
+  "CMakeFiles/amtlce_ce.dir/world.cpp.o"
+  "CMakeFiles/amtlce_ce.dir/world.cpp.o.d"
+  "libamtlce_ce.a"
+  "libamtlce_ce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amtlce_ce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

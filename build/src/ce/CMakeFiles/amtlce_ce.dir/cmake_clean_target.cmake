@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libamtlce_ce.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amtlce_des.dir/event_queue.cpp.o"
+  "CMakeFiles/amtlce_des.dir/event_queue.cpp.o.d"
+  "CMakeFiles/amtlce_des.dir/time.cpp.o"
+  "CMakeFiles/amtlce_des.dir/time.cpp.o.d"
+  "libamtlce_des.a"
+  "libamtlce_des.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amtlce_des.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

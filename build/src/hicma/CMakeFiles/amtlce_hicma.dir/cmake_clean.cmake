@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amtlce_hicma.dir/driver.cpp.o"
+  "CMakeFiles/amtlce_hicma.dir/driver.cpp.o.d"
+  "CMakeFiles/amtlce_hicma.dir/tlr_cholesky.cpp.o"
+  "CMakeFiles/amtlce_hicma.dir/tlr_cholesky.cpp.o.d"
+  "libamtlce_hicma.a"
+  "libamtlce_hicma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amtlce_hicma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linalg/blas.cpp" "src/linalg/CMakeFiles/amtlce_linalg.dir/blas.cpp.o" "gcc" "src/linalg/CMakeFiles/amtlce_linalg.dir/blas.cpp.o.d"
+  "/root/repo/src/linalg/hcore.cpp" "src/linalg/CMakeFiles/amtlce_linalg.dir/hcore.cpp.o" "gcc" "src/linalg/CMakeFiles/amtlce_linalg.dir/hcore.cpp.o.d"
+  "/root/repo/src/linalg/lowrank.cpp" "src/linalg/CMakeFiles/amtlce_linalg.dir/lowrank.cpp.o" "gcc" "src/linalg/CMakeFiles/amtlce_linalg.dir/lowrank.cpp.o.d"
+  "/root/repo/src/linalg/starsh.cpp" "src/linalg/CMakeFiles/amtlce_linalg.dir/starsh.cpp.o" "gcc" "src/linalg/CMakeFiles/amtlce_linalg.dir/starsh.cpp.o.d"
+  "/root/repo/src/linalg/svd.cpp" "src/linalg/CMakeFiles/amtlce_linalg.dir/svd.cpp.o" "gcc" "src/linalg/CMakeFiles/amtlce_linalg.dir/svd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/des/CMakeFiles/amtlce_des.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amtlce_linalg.dir/blas.cpp.o"
+  "CMakeFiles/amtlce_linalg.dir/blas.cpp.o.d"
+  "CMakeFiles/amtlce_linalg.dir/hcore.cpp.o"
+  "CMakeFiles/amtlce_linalg.dir/hcore.cpp.o.d"
+  "CMakeFiles/amtlce_linalg.dir/lowrank.cpp.o"
+  "CMakeFiles/amtlce_linalg.dir/lowrank.cpp.o.d"
+  "CMakeFiles/amtlce_linalg.dir/starsh.cpp.o"
+  "CMakeFiles/amtlce_linalg.dir/starsh.cpp.o.d"
+  "CMakeFiles/amtlce_linalg.dir/svd.cpp.o"
+  "CMakeFiles/amtlce_linalg.dir/svd.cpp.o.d"
+  "libamtlce_linalg.a"
+  "libamtlce_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amtlce_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amtlce_mlci.dir/lci.cpp.o"
+  "CMakeFiles/amtlce_mlci.dir/lci.cpp.o.d"
+  "libamtlce_mlci.a"
+  "libamtlce_mlci.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amtlce_mlci.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for amtlce_mlci.
+# This may be replaced when dependencies are built.

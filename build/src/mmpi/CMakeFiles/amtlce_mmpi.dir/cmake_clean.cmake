@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amtlce_mmpi.dir/mpi.cpp.o"
+  "CMakeFiles/amtlce_mmpi.dir/mpi.cpp.o.d"
+  "libamtlce_mmpi.a"
+  "libamtlce_mmpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amtlce_mmpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

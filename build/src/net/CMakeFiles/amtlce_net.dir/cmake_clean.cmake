@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amtlce_net.dir/clock_sync.cpp.o"
+  "CMakeFiles/amtlce_net.dir/clock_sync.cpp.o.d"
+  "CMakeFiles/amtlce_net.dir/fabric.cpp.o"
+  "CMakeFiles/amtlce_net.dir/fabric.cpp.o.d"
+  "libamtlce_net.a"
+  "libamtlce_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amtlce_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

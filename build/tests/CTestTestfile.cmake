@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("des")
+subdirs("net")
+subdirs("mmpi")
+subdirs("mlci")
+subdirs("ce")
+subdirs("amt")
+subdirs("linalg")
+subdirs("hicma")
+subdirs("integration")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_amt.dir/runtime_test.cpp.o"
+  "CMakeFiles/test_amt.dir/runtime_test.cpp.o.d"
+  "test_amt"
+  "test_amt.pdb"
+  "test_amt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_amt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

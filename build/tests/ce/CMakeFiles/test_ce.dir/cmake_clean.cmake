@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ce.dir/comm_engine_test.cpp.o"
+  "CMakeFiles/test_ce.dir/comm_engine_test.cpp.o.d"
+  "test_ce"
+  "test_ce.pdb"
+  "test_ce[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/des/coro_test.cpp" "tests/des/CMakeFiles/test_des.dir/coro_test.cpp.o" "gcc" "tests/des/CMakeFiles/test_des.dir/coro_test.cpp.o.d"
+  "/root/repo/tests/des/engine_test.cpp" "tests/des/CMakeFiles/test_des.dir/engine_test.cpp.o" "gcc" "tests/des/CMakeFiles/test_des.dir/engine_test.cpp.o.d"
+  "/root/repo/tests/des/event_queue_test.cpp" "tests/des/CMakeFiles/test_des.dir/event_queue_test.cpp.o" "gcc" "tests/des/CMakeFiles/test_des.dir/event_queue_test.cpp.o.d"
+  "/root/repo/tests/des/poll_loop_test.cpp" "tests/des/CMakeFiles/test_des.dir/poll_loop_test.cpp.o" "gcc" "tests/des/CMakeFiles/test_des.dir/poll_loop_test.cpp.o.d"
+  "/root/repo/tests/des/rng_test.cpp" "tests/des/CMakeFiles/test_des.dir/rng_test.cpp.o" "gcc" "tests/des/CMakeFiles/test_des.dir/rng_test.cpp.o.d"
+  "/root/repo/tests/des/sim_thread_test.cpp" "tests/des/CMakeFiles/test_des.dir/sim_thread_test.cpp.o" "gcc" "tests/des/CMakeFiles/test_des.dir/sim_thread_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/des/CMakeFiles/amtlce_des.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_des.dir/coro_test.cpp.o"
+  "CMakeFiles/test_des.dir/coro_test.cpp.o.d"
+  "CMakeFiles/test_des.dir/engine_test.cpp.o"
+  "CMakeFiles/test_des.dir/engine_test.cpp.o.d"
+  "CMakeFiles/test_des.dir/event_queue_test.cpp.o"
+  "CMakeFiles/test_des.dir/event_queue_test.cpp.o.d"
+  "CMakeFiles/test_des.dir/poll_loop_test.cpp.o"
+  "CMakeFiles/test_des.dir/poll_loop_test.cpp.o.d"
+  "CMakeFiles/test_des.dir/rng_test.cpp.o"
+  "CMakeFiles/test_des.dir/rng_test.cpp.o.d"
+  "CMakeFiles/test_des.dir/sim_thread_test.cpp.o"
+  "CMakeFiles/test_des.dir/sim_thread_test.cpp.o.d"
+  "test_des"
+  "test_des.pdb"
+  "test_des[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_des.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hicma.dir/rank_model_test.cpp.o"
+  "CMakeFiles/test_hicma.dir/rank_model_test.cpp.o.d"
+  "CMakeFiles/test_hicma.dir/tlr_cholesky_test.cpp.o"
+  "CMakeFiles/test_hicma.dir/tlr_cholesky_test.cpp.o.d"
+  "test_hicma"
+  "test_hicma.pdb"
+  "test_hicma[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hicma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/linalg/blas_test.cpp" "tests/linalg/CMakeFiles/test_linalg.dir/blas_test.cpp.o" "gcc" "tests/linalg/CMakeFiles/test_linalg.dir/blas_test.cpp.o.d"
+  "/root/repo/tests/linalg/hcore_test.cpp" "tests/linalg/CMakeFiles/test_linalg.dir/hcore_test.cpp.o" "gcc" "tests/linalg/CMakeFiles/test_linalg.dir/hcore_test.cpp.o.d"
+  "/root/repo/tests/linalg/lowrank_test.cpp" "tests/linalg/CMakeFiles/test_linalg.dir/lowrank_test.cpp.o" "gcc" "tests/linalg/CMakeFiles/test_linalg.dir/lowrank_test.cpp.o.d"
+  "/root/repo/tests/linalg/starsh_test.cpp" "tests/linalg/CMakeFiles/test_linalg.dir/starsh_test.cpp.o" "gcc" "tests/linalg/CMakeFiles/test_linalg.dir/starsh_test.cpp.o.d"
+  "/root/repo/tests/linalg/svd_test.cpp" "tests/linalg/CMakeFiles/test_linalg.dir/svd_test.cpp.o" "gcc" "tests/linalg/CMakeFiles/test_linalg.dir/svd_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/amtlce_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/des/CMakeFiles/amtlce_des.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

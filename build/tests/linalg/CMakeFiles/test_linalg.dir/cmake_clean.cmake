@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_linalg.dir/blas_test.cpp.o"
+  "CMakeFiles/test_linalg.dir/blas_test.cpp.o.d"
+  "CMakeFiles/test_linalg.dir/hcore_test.cpp.o"
+  "CMakeFiles/test_linalg.dir/hcore_test.cpp.o.d"
+  "CMakeFiles/test_linalg.dir/lowrank_test.cpp.o"
+  "CMakeFiles/test_linalg.dir/lowrank_test.cpp.o.d"
+  "CMakeFiles/test_linalg.dir/starsh_test.cpp.o"
+  "CMakeFiles/test_linalg.dir/starsh_test.cpp.o.d"
+  "CMakeFiles/test_linalg.dir/svd_test.cpp.o"
+  "CMakeFiles/test_linalg.dir/svd_test.cpp.o.d"
+  "test_linalg"
+  "test_linalg.pdb"
+  "test_linalg[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

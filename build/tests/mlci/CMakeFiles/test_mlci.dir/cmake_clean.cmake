@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mlci.dir/lci_test.cpp.o"
+  "CMakeFiles/test_mlci.dir/lci_test.cpp.o.d"
+  "test_mlci"
+  "test_mlci.pdb"
+  "test_mlci[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mlci.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

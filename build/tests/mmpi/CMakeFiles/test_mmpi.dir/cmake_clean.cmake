@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mmpi.dir/mpi_test.cpp.o"
+  "CMakeFiles/test_mmpi.dir/mpi_test.cpp.o.d"
+  "test_mmpi"
+  "test_mmpi.pdb"
+  "test_mmpi[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mmpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
