@@ -33,7 +33,8 @@ hicma::ExperimentResult run(ce::BackendKind kind,
 int main() {
   {
     bench::Table t("Ablation: LCI progress thread (§5.3.1)",
-                   {"variant", "TTS (s)", "e2e latency (ms)", "workers"});
+                   {"variant", "TTS (s)", "e2e latency (ms)", "e2e p50 (ms)",
+                    "e2e p99 (ms)", "workers"});
     for (const bool pt : {true, false}) {
       const auto r = run(ce::BackendKind::Lci,
                          [&](hicma::ExperimentConfig& cfg) {
@@ -42,6 +43,8 @@ int main() {
       t.add_row({pt ? "dedicated progress thread" : "coupled (comm thread)",
                  bench::fmt(r.tts_s),
                  bench::fmt(r.latency.e2e_mean_ns() / 1e6),
+                 bench::fmt(r.latency.e2e_p50_ns() / 1e6),
+                 bench::fmt(r.latency.e2e_p99_ns() / 1e6),
                  std::to_string(pt ? 126 : 127)});
     }
   }
@@ -87,8 +90,8 @@ int main() {
   }
   {
     bench::Table t("Ablation: MPI concurrent-transfer cap (§4.2.2)",
-                   {"cap", "TTS (s)", "e2e latency (ms)", "deferred puts",
-                    "dynamic recvs"});
+                   {"cap", "TTS (s)", "e2e latency (ms)", "e2e p99 (ms)",
+                    "deferred puts", "dynamic recvs"});
     for (const int cap : {5, 30, 120, 100000}) {
       const auto r = run(ce::BackendKind::Mpi,
                          [&](hicma::ExperimentConfig& cfg) {
@@ -96,6 +99,7 @@ int main() {
                          });
       t.add_row({std::to_string(cap), bench::fmt(r.tts_s),
                  bench::fmt(r.latency.e2e_mean_ns() / 1e6),
+                 bench::fmt(r.latency.e2e_p99_ns() / 1e6),
                  std::to_string(r.ce_stats.puts_deferred),
                  std::to_string(r.ce_stats.recvs_dynamic)});
     }

@@ -17,7 +17,9 @@ int main() {
   for (std::size_t s = 8 << 10; s <= (8u << 20); s *= 2) sizes.push_back(s);
 
   bench::Table table("Fig 2a: ping-pong bandwidth, one stream (Gbit/s)",
-                     {"granularity", "LCI", "Open MPI", "NetPIPE"});
+                     {"granularity", "LCI", "Open MPI", "NetPIPE",
+                      "LCI p50 (us)", "LCI p99 (us)", "Open MPI p50 (us)",
+                      "Open MPI p99 (us)"});
 
   struct Point {
     std::size_t size;
@@ -30,17 +32,18 @@ int main() {
     opts.fragment_bytes = size;
     opts.streams = 1;
     opts.iterations = 4;
-    auto run = [&](ce::BackendKind kind) {
-      return bench::mean_of(reps, [&](int) {
-        return bench::run_pingpong(kind, opts).gbit_per_s;
-      });
-    };
-    const double lci = run(ce::BackendKind::Lci);
-    const double mpi = run(ce::BackendKind::Mpi);
+    const auto lci =
+        bench::run_pingpong_series(reps, ce::BackendKind::Lci, opts);
+    const auto mpi =
+        bench::run_pingpong_series(reps, ce::BackendKind::Mpi, opts);
     const double raw = bench::netpipe_gbit(size);
-    points.push_back({size, lci, mpi});
-    table.add_row({bench::human_bytes(size), bench::fmt(lci, 1),
-                   bench::fmt(mpi, 1), bench::fmt(raw, 1)});
+    points.push_back({size, lci.gbit_per_s, mpi.gbit_per_s});
+    table.add_row({bench::human_bytes(size), bench::fmt(lci.gbit_per_s, 1),
+                   bench::fmt(mpi.gbit_per_s, 1), bench::fmt(raw, 1),
+                   bench::fmt(lci.latency.e2e_p50_ns() / 1e3, 1),
+                   bench::fmt(lci.latency.e2e_p99_ns() / 1e3, 1),
+                   bench::fmt(mpi.latency.e2e_p50_ns() / 1e3, 1),
+                   bench::fmt(mpi.latency.e2e_p99_ns() / 1e3, 1)});
   }
 
   // §6.2 text: granularity at which each backend falls below a bandwidth

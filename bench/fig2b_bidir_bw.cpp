@@ -18,7 +18,7 @@ int main() {
   bench::Table table(
       "Fig 2b: ping-pong bandwidth, two streams (Gbit/s)",
       {"granularity", "LCI", "Open MPI", "LCI (no sync)",
-       "Open MPI (no sync)"});
+       "Open MPI (no sync)", "LCI p99 (us)", "Open MPI p99 (us)"});
 
   for (const auto size : sizes) {
     auto run = [&](ce::BackendKind kind, bool sync) {
@@ -27,15 +27,16 @@ int main() {
       opts.streams = 2;
       opts.iterations = 4;
       opts.sync = sync;
-      return bench::mean_of(reps, [&](int) {
-        return bench::run_pingpong(kind, opts).gbit_per_s;
-      });
+      return bench::run_pingpong_series(reps, kind, opts);
     };
-    table.add_row({bench::human_bytes(size),
-                   bench::fmt(run(ce::BackendKind::Lci, true), 1),
-                   bench::fmt(run(ce::BackendKind::Mpi, true), 1),
-                   bench::fmt(run(ce::BackendKind::Lci, false), 1),
-                   bench::fmt(run(ce::BackendKind::Mpi, false), 1)});
+    const auto lci = run(ce::BackendKind::Lci, true);
+    const auto mpi = run(ce::BackendKind::Mpi, true);
+    table.add_row({bench::human_bytes(size), bench::fmt(lci.gbit_per_s, 1),
+                   bench::fmt(mpi.gbit_per_s, 1),
+                   bench::fmt(run(ce::BackendKind::Lci, false).gbit_per_s, 1),
+                   bench::fmt(run(ce::BackendKind::Mpi, false).gbit_per_s, 1),
+                   bench::fmt(lci.latency.e2e_p99_ns() / 1e3, 1),
+                   bench::fmt(mpi.latency.e2e_p99_ns() / 1e3, 1)});
   }
   return 0;
 }

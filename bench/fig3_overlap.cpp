@@ -17,7 +17,8 @@ int main() {
 
   bench::Table table(
       "Fig 3: overlap benchmark, GEMM-like intensity (GFLOP/s)",
-      {"granularity", "LCI", "Open MPI", "No Overlap", "Roofline"});
+      {"granularity", "LCI", "Open MPI", "No Overlap", "Roofline",
+       "LCI p99 lat (us)", "Open MPI p99 lat (us)"});
 
   for (std::size_t size = 16 << 10; size <= (8u << 20); size *= 2) {
     bench::PingPongOptions opts;
@@ -28,13 +29,12 @@ int main() {
     opts.fma_per_8bytes = std::sqrt(static_cast<double>(size) / 8.0);
     opts.core_gflops = kCoreGflops;
 
-    auto run = [&](ce::BackendKind kind) {
-      return bench::mean_of(reps, [&](int) {
-        return bench::run_pingpong(kind, opts).gflop_per_s;
-      });
-    };
-    const double lci = run(ce::BackendKind::Lci);
-    const double mpi = run(ce::BackendKind::Mpi);
+    const auto lci_res =
+        bench::run_pingpong_series(reps, ce::BackendKind::Lci, opts);
+    const auto mpi_res =
+        bench::run_pingpong_series(reps, ce::BackendKind::Mpi, opts);
+    const double lci = lci_res.gflop_per_s;
+    const double mpi = mpi_res.gflop_per_s;
 
     // Model curves.
     const double frag_flops =
@@ -57,7 +57,9 @@ int main() {
     // run_pingpong already reports GFLOP/s; the model curves are flops/s.
     table.add_row({bench::human_bytes(size), bench::fmt(lci, 1),
                    bench::fmt(mpi, 1), bench::fmt(no_overlap / 1e9, 1),
-                   bench::fmt(roofline / 1e9, 1)});
+                   bench::fmt(roofline / 1e9, 1),
+                   bench::fmt(lci_res.latency.e2e_p99_ns() / 1e3, 1),
+                   bench::fmt(mpi_res.latency.e2e_p99_ns() / 1e3, 1)});
   }
   return 0;
 }

@@ -38,6 +38,11 @@ int main() {
       {"tile", "LCI", "Open MPI", "LCI (MT)", "Open MPI (MT)"});
   bench::Table hop("Fig 4b aux: per-hop multicast latency, 16 nodes (ms)",
                    {"tile", "LCI", "Open MPI", "LCI (MT)", "Open MPI (MT)"});
+  bench::Table pct(
+      "Fig 4b aux: e2e latency percentiles, 16 nodes (ms)",
+      {"tile", "LCI p50", "LCI p99", "Open MPI p50", "Open MPI p99",
+       "LCI (MT) p50", "LCI (MT) p99", "Open MPI (MT) p50",
+       "Open MPI (MT) p99"});
 
   double lci_1200 = 0, lci_mt_1200 = 0, lci_2400 = 0, lci_mt_2400 = 0;
   for (const int nb : tiles) {
@@ -58,6 +63,15 @@ int main() {
                  bench::fmt(mpi.latency.hop_mean_ns() / 1e6),
                  bench::fmt(lci_mt.latency.hop_mean_ns() / 1e6),
                  bench::fmt(mpi_mt.latency.hop_mean_ns() / 1e6)});
+    pct.add_row({std::to_string(nb),
+                 bench::fmt(lci.latency.e2e_p50_ns() / 1e6),
+                 bench::fmt(lci.latency.e2e_p99_ns() / 1e6),
+                 bench::fmt(mpi.latency.e2e_p50_ns() / 1e6),
+                 bench::fmt(mpi.latency.e2e_p99_ns() / 1e6),
+                 bench::fmt(lci_mt.latency.e2e_p50_ns() / 1e6),
+                 bench::fmt(lci_mt.latency.e2e_p99_ns() / 1e6),
+                 bench::fmt(mpi_mt.latency.e2e_p50_ns() / 1e6),
+                 bench::fmt(mpi_mt.latency.e2e_p99_ns() / 1e6)});
     if (nb == 1200) {
       lci_1200 = lci.tts_s;
       lci_mt_1200 = lci_mt.tts_s;

@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "des/time.hpp"
+#include "obs/stats.hpp"
 
 namespace amt {
 
@@ -71,31 +72,30 @@ struct RuntimeConfig {
 /// End-to-end latency statistics (paper Figs. 4b/5b): measured from the
 /// ACTIVATE send until the data arrives, per flow; `e2e` is from the
 /// multicast root, `hop` from the direct predecessor in the tree.
+/// Histogram-backed, so the benches report percentiles (p50/p90/p99), not
+/// just means; merging across nodes merges the underlying buckets.
 struct LatencyStats {
-  std::uint64_t count = 0;
-  double hop_sum_ns = 0, hop_max_ns = 0;
-  double e2e_sum_ns = 0, e2e_max_ns = 0;
+  obs::Histogram hop;
+  obs::Histogram e2e;
 
   void add(double hop_ns, double e2e_ns) {
-    ++count;
-    hop_sum_ns += hop_ns;
-    e2e_sum_ns += e2e_ns;
-    if (hop_ns > hop_max_ns) hop_max_ns = hop_ns;
-    if (e2e_ns > e2e_max_ns) e2e_max_ns = e2e_ns;
+    hop.add(hop_ns);
+    e2e.add(e2e_ns);
   }
   void merge(const LatencyStats& o) {
-    count += o.count;
-    hop_sum_ns += o.hop_sum_ns;
-    e2e_sum_ns += o.e2e_sum_ns;
-    if (o.hop_max_ns > hop_max_ns) hop_max_ns = o.hop_max_ns;
-    if (o.e2e_max_ns > e2e_max_ns) e2e_max_ns = o.e2e_max_ns;
+    hop.merge(o.hop);
+    e2e.merge(o.e2e);
   }
-  double hop_mean_ns() const {
-    return count == 0 ? 0.0 : hop_sum_ns / static_cast<double>(count);
-  }
-  double e2e_mean_ns() const {
-    return count == 0 ? 0.0 : e2e_sum_ns / static_cast<double>(count);
-  }
+  std::uint64_t count() const { return e2e.count(); }
+  double hop_mean_ns() const { return hop.mean(); }
+  double e2e_mean_ns() const { return e2e.mean(); }
+  double hop_max_ns() const { return hop.max(); }
+  double e2e_max_ns() const { return e2e.max(); }
+  double hop_p50_ns() const { return hop.p50(); }
+  double hop_p99_ns() const { return hop.p99(); }
+  double e2e_p50_ns() const { return e2e.p50(); }
+  double e2e_p90_ns() const { return e2e.p90(); }
+  double e2e_p99_ns() const { return e2e.p99(); }
 };
 
 /// Per-node runtime counters.
@@ -108,11 +108,10 @@ struct NodeStats {
   std::uint64_t data_arrivals = 0;
   std::uint64_t forwards = 0;              ///< multicast-tree forwards
   LatencyStats latency;
-  /// Phase breakdown of the end-to-end path (hop timings in hop_*,
-  /// e2e_* unused): activate-processed -> GET DATA sent, and GET DATA
-  /// sent -> data arrival.
-  LatencyStats fetch_wait;
-  LatencyStats transfer;
+  /// Phase breakdown of the end-to-end path: activate-processed -> GET
+  /// DATA sent (fetch_wait), and GET DATA sent -> data arrival (transfer).
+  obs::Histogram fetch_wait;
+  obs::Histogram transfer;
 };
 
 }  // namespace amt

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
+#include <optional>
 #include <string>
 
 namespace amt {
@@ -97,18 +99,28 @@ void NodeRuntime::try_dispatch() {
     const int w = idle_workers_.back();
     idle_workers_.pop_back();
     auto& worker = *workers_[static_cast<std::size_t>(w)];
-    worker.post_work(cfg_.scheduler_cost,
-                     [this, t = std::move(task), w]() mutable {
-                       run_task(std::move(t), w);
-                     });
+    worker.post_work(
+        cfg_.scheduler_cost,
+        [this, t = std::move(task), w]() mutable {
+          run_task(std::move(t), w);
+        },
+        "task");
   }
 }
 
 void NodeRuntime::run_task(ReadyTask&& task, int worker_idx) {
   auto& worker = *workers_[static_cast<std::size_t>(worker_idx)];
   RunContext ctx(std::move(task.inputs), def_.num_outputs(task.key));
+  std::optional<des::ChargeSpan> span;
+  if (eng_.trace_sink() != nullptr) {
+    char label[64];
+    std::snprintf(label, sizeof label, "T%d(%d,%d,%d)", task.key.cls,
+                  task.key.i, task.key.j, task.key.k);
+    span.emplace(eng_, label);
+  }
   const des::Duration body = def_.execute(task.key, ctx);
   worker.charge(body + cfg_.task_epilogue_cost);
+  span.reset();  // the span covers execute + epilogue, not the releases
   ++stats_.tasks_executed;
   task_completed(task.key, ctx);
   idle_workers_.push_back(worker_idx);
@@ -262,6 +274,10 @@ void NodeRuntime::on_activate(const void* msg, std::size_t size, int src) {
   (void)src;
   auto records = wire::unpack_activate(msg, size);
   for (auto& rec : records) {
+    // One sub-span per aggregated record: this is the per-record work that
+    // makes the ACTIVATE callback block progress on the MPI backend (§4.3).
+    std::optional<des::ChargeSpan> span;
+    if (eng_.trace_sink() != nullptr) span.emplace(eng_, "activate.rec");
     des::charge_current(cfg_.activate_unpack_cost);
     PendingFetch pf;
     deps_scratch_.clear();
@@ -397,9 +413,8 @@ void NodeRuntime::on_data_arrived(const void* msg, std::size_t size,
   stats_.latency.add(static_cast<double>(now_g - hop_send_g),
                      static_cast<double>(now_g - root_send_g));
   stats_.fetch_wait.add(
-      static_cast<double>(pf.requested_ts - pf.activated_ts), 0.0);
-  stats_.transfer.add(static_cast<double>(eng_.now() - pf.requested_ts),
-                      0.0);
+      static_cast<double>(pf.requested_ts - pf.activated_ts));
+  stats_.transfer.add(static_cast<double>(eng_.now() - pf.requested_ts));
 
   des::charge_current(static_cast<des::Duration>(pf.local_deps.size()) *
                       cfg_.release_per_dep_cost);

@@ -1,11 +1,13 @@
 #include "bench_util/harness.hpp"
 
+#include <cassert>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 
 #include "des/engine.hpp"
 #include "net/fabric.hpp"
+#include "obs/trace.hpp"
 #include "amt/runtime.hpp"
 
 namespace bench {
@@ -15,6 +17,7 @@ Reps Reps::from_env() {
   if (const char* v = std::getenv("AMTLCE_REPS")) r.total = std::atoi(v);
   if (const char* v = std::getenv("AMTLCE_WARMUP")) r.warmup = std::atoi(v);
   if (r.total < 1) r.total = 1;
+  if (r.warmup < 0) r.warmup = 0;  // a negative warm-up discards nothing
   if (r.warmup >= r.total) r.warmup = r.total - 1;
   return r;
 }
@@ -35,7 +38,9 @@ double mean_of(const Reps& reps, const std::function<double(int)>& measure) {
 PingPongResult run_pingpong(ce::BackendKind backend,
                             const PingPongOptions& opts,
                             net::FabricConfig fabric, ce::CeConfig ce_cfg) {
+  assert(opts.iterations >= 1 && "ping-pong needs at least one iteration");
   des::Engine eng;
+  const auto tracer = obs::Tracer::attach_from_env(eng);
   net::Fabric fab(eng, opts.nodes, fabric);
   ce::CommWorld comm(fab, backend, ce_cfg);
   PingPongGraph graph(opts);
@@ -51,14 +56,40 @@ PingPongResult run_pingpong(ce::BackendKind backend,
 
   PingPongResult res;
   res.tts_s = des::to_seconds(makespan);
-  // Fragment data crosses the wire once per iteration after the first
-  // placement (iterations - 1 network crossings per fragment chain is
-  // conservative; the paper counts per-iteration volume, so do we).
+  // Wire-volume accounting: the first round's fragments start co-located
+  // with their tasks, so the window crosses the network once per iteration
+  // *transition* — (iterations - 1) crossings per stream.  Signed math: a
+  // single iteration moves nothing and reports zero bandwidth instead of
+  // the unsigned-underflow garbage the old size_t expression produced.
   const double bytes = static_cast<double>(opts.total_bytes) *
                        opts.streams * (opts.iterations - 1);
   res.gbit_per_s = bytes * 8.0 / res.tts_s / 1e9;
   res.gflop_per_s = graph.total_flops() / res.tts_s / 1e9;
+  res.latency = runtime.aggregate_stats().latency;
   return res;
+}
+
+PingPongResult run_pingpong_series(const Reps& reps, ce::BackendKind backend,
+                                   const PingPongOptions& opts,
+                                   net::FabricConfig fabric,
+                                   ce::CeConfig ce_cfg) {
+  PingPongResult agg;
+  int counted = 0;
+  for (int i = 0; i < reps.total; ++i) {
+    PingPongResult r = run_pingpong(backend, opts, fabric, ce_cfg);
+    if (i < reps.warmup) continue;
+    agg.gbit_per_s += r.gbit_per_s;
+    agg.gflop_per_s += r.gflop_per_s;
+    agg.tts_s += r.tts_s;
+    agg.latency.merge(r.latency);
+    ++counted;
+  }
+  if (counted > 0) {
+    agg.gbit_per_s /= counted;
+    agg.gflop_per_s /= counted;
+    agg.tts_s /= counted;
+  }
+  return agg;
 }
 
 double netpipe_gbit(std::size_t fragment_bytes, std::size_t total_bytes,
@@ -66,9 +97,12 @@ double netpipe_gbit(std::size_t fragment_bytes, std::size_t total_bytes,
   des::Engine eng;
   net::Fabric fab(eng, 2, fabric);
   const auto count = total_bytes / fragment_bytes;
+  if (count == 0) return 0.0;  // fragment larger than the total volume
+  des::Time first = 0;
   des::Time last = 0;
   std::uint64_t received = 0;
   fab.nic(1).set_deliver_handler([&](net::Message&&) {
+    if (received == 0) first = eng.now();
     ++received;
     last = eng.now();
   });
@@ -85,9 +119,19 @@ double netpipe_gbit(std::size_t fragment_bytes, std::size_t total_bytes,
     inject += 500;  // 0.5 us software pacing per message
   }
   eng.run();
-  const double bytes =
-      static_cast<double>(fragment_bytes) * static_cast<double>(received);
-  return bytes * 8.0 / des::to_seconds(last) / 1e9;
+  if (received == 0) return 0.0;
+  if (received == 1) {
+    // Single message: no arrival-to-arrival window exists, so fall back to
+    // injection-to-arrival time (includes the one-way latency — the
+    // steady-state pipeline rate is undefined with one sample).
+    return static_cast<double>(fragment_bytes) * 8.0 / des::to_seconds(last) /
+           1e9;
+  }
+  // Steady-state rate: the window [first arrival, last arrival] contains
+  // the payloads of messages 2..N.
+  const double bytes = static_cast<double>(fragment_bytes) *
+                       static_cast<double>(received - 1);
+  return bytes * 8.0 / des::to_seconds(last - first) / 1e9;
 }
 
 Table::Table(std::string title, std::vector<std::string> columns)
@@ -127,14 +171,30 @@ Table::~Table() {
     for (auto& ch : name) {
       if (ch == ' ' || ch == '/' || ch == ',') ch = '_';
     }
+    // RFC-4180-style quoting for cells containing separators or quotes.
+    const auto escape = [](const std::string& cell) -> std::string {
+      if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+      std::string quoted = "\"";
+      for (const char ch : cell) {
+        if (ch == '"') quoted += '"';
+        quoted += ch;
+      }
+      quoted += '"';
+      return quoted;
+    };
     std::ofstream csv(std::string(prefix) + name + ".csv");
     for (std::size_t c = 0; c < columns_.size(); ++c) {
-      csv << columns_[c] << (c + 1 < columns_.size() ? "," : "\n");
+      csv << escape(columns_[c]) << (c + 1 < columns_.size() ? "," : "\n");
     }
+    // Every data line has exactly one field per header column: short rows
+    // are padded with empty cells, long rows keep their extra cells.
     for (const auto& row : rows_) {
-      for (std::size_t c = 0; c < row.size(); ++c) {
-        csv << row[c] << (c + 1 < row.size() ? "," : "\n");
+      const std::size_t n = std::max(row.size(), columns_.size());
+      for (std::size_t c = 0; c < n; ++c) {
+        if (c > 0) csv << ',';
+        if (c < row.size()) csv << escape(row[c]);
       }
+      csv << '\n';
     }
   }
 }

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "amt/config.hpp"
 #include "ce/world.hpp"
 #include "net/config.hpp"
 #include "bench_util/pingpong_graph.hpp"
@@ -19,6 +20,7 @@
 namespace bench {
 
 /// Repetition policy (env-overridable: AMTLCE_REPS, AMTLCE_WARMUP).
+/// Values are clamped sane: total >= 1, 0 <= warmup < total.
 struct Reps {
   int total = 3;
   int warmup = 1;
@@ -32,13 +34,22 @@ struct PingPongResult {
   double gbit_per_s = 0;   ///< fragment payload bandwidth
   double gflop_per_s = 0;  ///< task-body compute rate (overlap benchmark)
   double tts_s = 0;
+  /// Per-flow latency distribution (hop + e2e) aggregated over all nodes.
+  amt::LatencyStats latency;
 };
 
 /// Runs the §6.2/§6.3 ping-pong graph on a fresh 2..N-node cluster.
+/// Honors AMTLCE_TRACE (one Chrome-trace file per simulation).
 PingPongResult run_pingpong(ce::BackendKind backend,
                             const PingPongOptions& opts,
                             net::FabricConfig fabric = net::expanse_config(),
                             ce::CeConfig ce_cfg = {});
+
+/// run_pingpong over a full repetition series: scalar results are the mean
+/// of the post-warm-up runs, latency histograms are merged across them.
+PingPongResult run_pingpong_series(
+    const Reps& reps, ce::BackendKind backend, const PingPongOptions& opts,
+    net::FabricConfig fabric = net::expanse_config(), ce::CeConfig ce_cfg = {});
 
 /// Hardware-only ping-pong ceiling (the NetPIPE role): windowed raw
 /// fabric transfers of `fragment` bytes, no runtime, no backend.

@@ -22,6 +22,10 @@
 #include "des/time.hpp"
 #include "net/message.hpp"
 
+namespace obs {
+class Recorder;
+}
+
 namespace ce {
 
 using Tag = std::uint64_t;
@@ -135,6 +139,11 @@ class CommEngine {
   virtual void set_wake_callback(std::function<void()> fn) = 0;
 
   virtual const CeStats& stats() const = 0;
+
+  /// Attaches a metrics recorder for latency histograms ("ce.put_local_ns",
+  /// "ce.put_remote_ns", queue-wait metrics).  Null detaches; the engine
+  /// does not own the recorder.  Default: metrics are dropped.
+  virtual void set_recorder(obs::Recorder* /*rec*/) {}
 };
 
 }  // namespace ce

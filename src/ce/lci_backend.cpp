@@ -1,10 +1,13 @@
 #include "ce/lci_backend.hpp"
 
 #include <cassert>
+#include <cstdio>
 #include <cstring>
+#include <optional>
 #include <string>
 
 #include "ce/put_protocol.hpp"
+#include "obs/stats.hpp"
 
 namespace ce {
 namespace {
@@ -37,6 +40,8 @@ LciBackend::LciBackend(mlci::Device& device, des::Engine& engine,
     }
     done.origin = req.peer;
     done.size = req.size;
+    done.started = eng_.now();
+    done.queued = eng_.now();
     data_fifo_.push_back(std::move(done));
     wake_comm_thread();
   });
@@ -133,6 +138,7 @@ int LciBackend::put(const MemReg& lreg, std::ptrdiff_t ldispl,
                     void* l_cb_data, Tag r_tag, const void* r_cb_data,
                     std::size_t r_cb_data_size) {
   ++stats_.puts_started;
+  const des::Time put_start = eng_.now();
   const std::uint64_t data_tag = next_data_tag_++;
   const void* src = nullptr;
   if (lreg.base != nullptr) {
@@ -170,6 +176,7 @@ int LciBackend::put(const MemReg& lreg, std::ptrdiff_t ldispl,
     ds.local_done.rdispl = rdispl;
     ds.local_done.size = size;
     ds.local_done.remote = remote;
+    ds.local_done.started = put_start;
     if (!start_data_send(ds)) {
       retry_data_sends_.push_back(std::move(ds));
       wake_comm_thread();
@@ -198,6 +205,12 @@ int LciBackend::put(const MemReg& lreg, std::ptrdiff_t ldispl,
     }
     ++stats_.eager_puts;
     ++stats_.puts_completed_local;
+    if (rec_ != nullptr) {
+      // Eager local completion is immediate; the histogram still records
+      // it so put_local distributions reflect the eager fraction.
+      rec_->histogram("ce.put_local_ns")
+          .add(static_cast<double>(eng_.now() - put_start));
+    }
     if (l_cb) {
       l_cb(*this, lreg, ldispl, rreg, rdispl, size, remote, l_cb_data);
     }
@@ -228,6 +241,7 @@ int LciBackend::put(const MemReg& lreg, std::ptrdiff_t ldispl,
   ds.local_done.rdispl = rdispl;
   ds.local_done.size = size;
   ds.local_done.remote = remote;
+  ds.local_done.started = put_start;
   if (!start_data_send(ds)) {
     retry_data_sends_.push_back(std::move(ds));
     wake_comm_thread();
@@ -242,6 +256,7 @@ bool LciBackend::start_data_send(const PendingDataSend& ps) {
         mlci::Comp::handler(
             [this, h = ps.local_done](mlci::Request&&) mutable {
               --outstanding_direct_;
+              h.queued = eng_.now();
               data_fifo_.push_back(std::move(h));
               wake_comm_thread();
             }),
@@ -256,6 +271,7 @@ bool LciBackend::start_data_send(const PendingDataSend& ps) {
         // Progress-thread context: fill the callback handle and push it to
         // the bulk-data FIFO for the communication thread (§5.3.3).
         --outstanding_direct_;
+        h.queued = eng_.now();
         data_fifo_.push_back(std::move(h));
         wake_comm_thread();
       }));
@@ -279,6 +295,7 @@ void LciBackend::on_am_arrival(mlci::Request&& req) {
   h.src = req.peer;
   h.payload = std::move(req.payload);
   h.size = req.size;
+  h.arrived = eng_.now();
   am_fifo_.push_back(std::move(h));
   wake_comm_thread();
 }
@@ -295,6 +312,7 @@ void LciBackend::handle_handshake(mlci::Request&& req) {
   }
   done.origin = req.peer;
   done.size = static_cast<std::size_t>(v.hdr.size);
+  done.started = eng_.now();
 
   std::byte* dst = nullptr;
   if (v.hdr.rbase != 0) {
@@ -305,6 +323,7 @@ void LciBackend::handle_handshake(mlci::Request&& req) {
     if (dst != nullptr && v.eager_data != nullptr) {
       std::memcpy(dst, v.eager_data, static_cast<std::size_t>(v.hdr.size));
     }
+    done.queued = eng_.now();
     data_fifo_.push_back(std::move(done));
     wake_comm_thread();
     return;
@@ -330,6 +349,7 @@ bool LciBackend::post_data_recv(const PendingRecv& pr) {
       pr.src, pr.data_tag, pr.dst, pr.size,
       mlci::Comp::handler(
           [this, h = pr.remote_done](mlci::Request&&) mutable {
+            h.queued = eng_.now();
             data_fifo_.push_back(std::move(h));
             wake_comm_thread();
           }));
@@ -341,16 +361,32 @@ bool LciBackend::post_data_recv(const PendingRecv& pr) {
 
 void LciBackend::dispatch_data_handle(DataHandle&& h) {
   des::charge_current(cfg_.dispatch_cost);
+  if (rec_ != nullptr) {
+    rec_->histogram("ce.data_queue_ns")
+        .add(static_cast<double>(eng_.now() - h.queued));
+  }
   if (h.kind == DataHandle::Kind::LocalDone) {
     ++stats_.puts_completed_local;
+    if (rec_ != nullptr) {
+      rec_->histogram("ce.put_local_ns")
+          .add(static_cast<double>(eng_.now() - h.started));
+    }
     if (h.l_cb) {
+      std::optional<des::ChargeSpan> span;
+      if (eng_.trace_sink() != nullptr) span.emplace(eng_, "put.l_cb");
       h.l_cb(*this, h.lreg, h.ldispl, h.rreg, h.rdispl, h.size, h.remote,
              h.l_cb_data);
     }
   } else {
     ++stats_.puts_completed_remote;
+    if (rec_ != nullptr) {
+      rec_->histogram("ce.put_remote_ns")
+          .add(static_cast<double>(eng_.now() - h.started));
+    }
     const auto it = tags_.find(h.r_tag);
     assert(it != tags_.end() && "put r_tag not registered");
+    std::optional<des::ChargeSpan> span;
+    if (eng_.trace_sink() != nullptr) span.emplace(eng_, "put.r_cb");
     it->second.cb(*this, h.r_tag, h.r_cb_data.data(), h.r_cb_data.size(),
                   h.origin, it->second.cb_data);
   }
@@ -402,7 +438,18 @@ int LciBackend::progress() {
       const auto it = tags_.find(h.tag);
       assert(it != tags_.end() && "AM for unregistered tag");
       ++stats_.ams_delivered;
+      if (rec_ != nullptr) {
+        rec_->histogram("ce.am_queue_ns")
+            .add(static_cast<double>(eng_.now() - h.arrived));
+      }
       const void* body = h.payload ? h.payload->data() : nullptr;
+      std::optional<des::ChargeSpan> span;
+      if (eng_.trace_sink() != nullptr) {
+        char label[32];
+        std::snprintf(label, sizeof label, "am 0x%llx",
+                      static_cast<unsigned long long>(h.tag));
+        span.emplace(eng_, label);
+      }
       it->second.cb(*this, h.tag, body, h.size, h.src, it->second.cb_data);
       ++processed;
     }

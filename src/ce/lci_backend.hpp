@@ -60,6 +60,7 @@ class LciBackend final : public CommEngine {
   bool idle() const override;
   void set_wake_callback(std::function<void()> fn) override;
   const CeStats& stats() const override { return stats_; }
+  void set_recorder(obs::Recorder* rec) override { rec_ = rec; }
 
   /// The progress thread (null when disabled) — exposed so experiments can
   /// read its utilization.
@@ -79,6 +80,7 @@ class LciBackend final : public CommEngine {
     int src = -1;
     net::PayloadPtr payload;
     std::size_t size = 0;
+    des::Time arrived = 0;  ///< FIFO entry time ("ce.am_queue_ns")
   };
   struct DataHandle {
     enum class Kind { LocalDone, RemoteDone };
@@ -94,6 +96,10 @@ class LciBackend final : public CommEngine {
     Tag r_tag = 0;
     std::vector<std::byte> r_cb_data;
     int origin = -1;
+    /// Put start (origin call / handshake arrival): put_local/put_remote
+    /// latency base.
+    des::Time started = 0;
+    des::Time queued = 0;  ///< FIFO entry time ("ce.data_queue_ns")
   };
   /// A Direct receive that hit Retry on the progress thread and was
   /// delegated to the communication thread.
@@ -154,6 +160,7 @@ class LciBackend final : public CommEngine {
   std::uint64_t next_data_tag_;
   std::uint64_t outstanding_direct_ = 0;  ///< sends with pending local done
   std::function<void()> wake_;
+  obs::Recorder* rec_ = nullptr;
 };
 
 }  // namespace ce

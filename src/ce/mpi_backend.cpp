@@ -1,9 +1,13 @@
 #include "ce/mpi_backend.hpp"
 
 #include <cassert>
+#include <cstdio>
 #include <cstring>
+#include <optional>
 
 #include "ce/put_protocol.hpp"
+#include "des/sim_thread.hpp"
+#include "obs/stats.hpp"
 
 namespace ce {
 namespace {
@@ -103,6 +107,7 @@ int MpiBackend::put(const MemReg& lreg, std::ptrdiff_t ldispl,
   e.size = size;
   e.remote = remote;
   e.data_tag = data_tag;
+  e.started = rank_.engine().now();
 
   if (data_entries_active() < cfg_.max_concurrent_transfers) {
     start_data_send(std::move(e));
@@ -134,6 +139,7 @@ void MpiBackend::handle_handshake(const void* msg, std::size_t size,
   }
   e.origin = src;
   e.size = static_cast<std::size_t>(v.hdr.size);
+  e.started = rank_.engine().now();
   void* dst = nullptr;
   if (v.hdr.rbase != 0) {
     dst = reinterpret_cast<std::byte*>(v.hdr.rbase) + v.hdr.rdispl;
@@ -167,6 +173,13 @@ void MpiBackend::run_am_callback(Entry& e, const mmpi::MpiStatus& st) {
   const auto it = tags_.find(e.am_tag);
   assert(it != tags_.end());
   ++stats_.ams_delivered;
+  std::optional<des::ChargeSpan> span;
+  if (rank_.engine().trace_sink() != nullptr) {
+    char label[32];
+    std::snprintf(label, sizeof label, "am 0x%llx",
+                  static_cast<unsigned long long>(e.am_tag));
+    span.emplace(rank_.engine(), label);
+  }
   it->second.cb(*this, e.am_tag, e.buffer->data(), st.count, st.source,
                 it->second.cb_data);
 }
@@ -199,7 +212,15 @@ int MpiBackend::progress() {
           des::charge_current(cfg_.dispatch_cost);
           Entry& e = entries_[idx];
           ++stats_.puts_completed_local;
+          if (rec_ != nullptr) {
+            rec_->histogram("ce.put_local_ns")
+                .add(static_cast<double>(rank_.engine().now() - e.started));
+          }
           if (e.l_cb) {
+            std::optional<des::ChargeSpan> span;
+            if (rank_.engine().trace_sink() != nullptr) {
+              span.emplace(rank_.engine(), "put.l_cb");
+            }
             e.l_cb(*this, e.lreg, e.ldispl, e.rreg, e.rdispl, e.size,
                    e.remote, e.l_cb_data);
           }
@@ -212,8 +233,16 @@ int MpiBackend::progress() {
           // Remote completion: invoke the AM callback registered for
           // r_tag with the callback data from the handshake.
           const Entry& e = entries_[idx];
+          if (rec_ != nullptr) {
+            rec_->histogram("ce.put_remote_ns")
+                .add(static_cast<double>(rank_.engine().now() - e.started));
+          }
           const auto it = tags_.find(e.r_tag);
           assert(it != tags_.end() && "put r_tag not registered");
+          std::optional<des::ChargeSpan> span;
+          if (rank_.engine().trace_sink() != nullptr) {
+            span.emplace(rank_.engine(), "put.r_cb");
+          }
           it->second.cb(*this, e.r_tag, e.r_cb_data.data(),
                         e.r_cb_data.size(), e.origin, it->second.cb_data);
           done[idx] = true;

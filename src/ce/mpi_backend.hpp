@@ -50,6 +50,7 @@ class MpiBackend final : public CommEngine {
   bool idle() const override;
   void set_wake_callback(std::function<void()> fn) override;
   const CeStats& stats() const override { return stats_; }
+  void set_recorder(obs::Recorder* rec) override { rec_ = rec; }
 
  private:
   struct AmTagInfo {
@@ -78,6 +79,9 @@ class MpiBackend final : public CommEngine {
     Tag r_tag = 0;
     std::vector<std::byte> r_cb_data;
     int origin = -1;
+    /// When this transfer entered the engine (put() call / handshake
+    /// arrival) — start of the put_local/put_remote latency histograms.
+    des::Time started = 0;
   };
 
   /// Deferred work, kept in one FIFO to preserve global start order.
@@ -101,6 +105,7 @@ class MpiBackend final : public CommEngine {
   std::deque<Pending> pending_;       ///< deferred sends + dynamic recvs
   std::uint64_t next_data_tag_;
   std::function<void()> wake_;
+  obs::Recorder* rec_ = nullptr;
 };
 
 }  // namespace ce

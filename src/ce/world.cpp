@@ -7,7 +7,7 @@ namespace ce {
 
 CommWorld::CommWorld(net::Fabric& fabric, BackendKind kind, CeConfig ce_cfg,
                      mmpi::Config mpi_cfg, mlci::Config lci_cfg)
-    : kind_(kind) {
+    : kind_(kind), fabric_(fabric) {
   const int n = fabric.num_nodes();
   engines_.reserve(static_cast<std::size_t>(n));
   if (kind == BackendKind::Mpi) {
@@ -26,6 +26,13 @@ CommWorld::CommWorld(net::Fabric& fabric, BackendKind kind, CeConfig ce_cfg,
           lci_->device(r), fabric.engine(), ce_cfg));
     }
   }
+  fabric.set_recorder(&recorder_);
+  for (auto& e : engines_) e->set_recorder(&recorder_);
+}
+
+CommWorld::~CommWorld() {
+  // The fabric outlives this world; don't leave it a dangling recorder.
+  if (fabric_.recorder() == &recorder_) fabric_.set_recorder(nullptr);
 }
 
 }  // namespace ce

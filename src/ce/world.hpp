@@ -10,6 +10,7 @@
 #include "mlci/lci.hpp"
 #include "mmpi/mpi.hpp"
 #include "net/fabric.hpp"
+#include "obs/stats.hpp"
 
 namespace ce {
 
@@ -23,8 +24,13 @@ class CommWorld {
  public:
   CommWorld(net::Fabric& fabric, BackendKind kind, CeConfig ce_cfg = {},
             mmpi::Config mpi_cfg = {}, mlci::Config lci_cfg = {});
+  ~CommWorld();
 
   BackendKind kind() const { return kind_; }
+
+  /// World-wide metrics: the fabric and every engine record into this.
+  obs::Recorder& metrics() { return recorder_; }
+  const obs::Recorder& metrics() const { return recorder_; }
   int size() const { return static_cast<int>(engines_.size()); }
   CommEngine& engine(int node) {
     return *engines_.at(static_cast<std::size_t>(node));
@@ -40,6 +46,8 @@ class CommWorld {
 
  private:
   BackendKind kind_;
+  net::Fabric& fabric_;
+  obs::Recorder recorder_;
   std::unique_ptr<mmpi::Mpi> mpi_;
   std::unique_ptr<mlci::Lci> lci_;
   std::vector<std::unique_ptr<CommEngine>> engines_;

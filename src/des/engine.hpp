@@ -16,6 +16,8 @@
 
 namespace des {
 
+class TraceSink;
+
 class Engine {
  public:
   Engine() = default;
@@ -78,10 +80,19 @@ class Engine {
   std::size_t pending_events() const { return queue_.size(); }
   std::uint64_t events_fired() const { return events_fired_; }
 
+  /// Installs (or, with null, removes) the trace sink.  The sink must
+  /// outlive every event that may emit into it.
+  void set_trace_sink(TraceSink* sink) { trace_ = sink; }
+
+  /// The installed trace sink, or null when tracing is off.  Producers
+  /// must check for null before building event names.
+  TraceSink* trace_sink() const { return trace_; }
+
  private:
   EventQueue queue_;
   Time now_ = 0;
   std::uint64_t events_fired_ = 0;
+  TraceSink* trace_ = nullptr;
 };
 
 }  // namespace des

@@ -1,13 +1,21 @@
 #include "des/event_queue.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
 namespace des {
+namespace {
+
+/// Below this heap size compaction is not worth the re-heapify.
+constexpr std::size_t kCompactMinHeap = 64;
+
+}  // namespace
 
 EventId EventQueue::schedule(Time t, Callback fn) {
   const EventId id = next_id_++;
-  heap_.push(Entry{t, next_seq_++, id});
+  heap_.push_back(Entry{t, next_seq_++, id});
+  std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
   callbacks_.emplace(id, std::move(fn));
   ++live_count_;
   return id;
@@ -18,25 +26,40 @@ bool EventQueue::cancel(EventId id) {
   if (it == callbacks_.end()) return false;
   callbacks_.erase(it);
   --live_count_;
+  maybe_compact();
   return true;
 }
 
+void EventQueue::maybe_compact() {
+  // Sweep when dead entries exceed half the heap (live < dead).  The
+  // (time, seq) order of surviving entries is untouched, so pop order —
+  // and therefore simulation determinism — is unaffected.
+  if (heap_.size() < kCompactMinHeap || heap_.size() <= 2 * live_count_) {
+    return;
+  }
+  std::erase_if(heap_,
+                [this](const Entry& e) { return !callbacks_.contains(e.id); });
+  std::make_heap(heap_.begin(), heap_.end(), std::greater<>{});
+}
+
 void EventQueue::drop_dead_front() {
-  while (!heap_.empty() && !callbacks_.contains(heap_.top().id)) {
-    heap_.pop();
+  while (!heap_.empty() && !callbacks_.contains(heap_.front().id)) {
+    std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+    heap_.pop_back();
   }
 }
 
 Time EventQueue::next_time() {
   drop_dead_front();
-  return heap_.empty() ? kTimeNever : heap_.top().time;
+  return heap_.empty() ? kTimeNever : heap_.front().time;
 }
 
 EventQueue::Fired EventQueue::pop() {
   drop_dead_front();
   assert(!heap_.empty() && "pop() on empty EventQueue");
-  const Entry e = heap_.top();
-  heap_.pop();
+  const Entry e = heap_.front();
+  std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+  heap_.pop_back();
   auto it = callbacks_.find(e.id);
   Fired fired{e.time, e.id, std::move(it->second)};
   callbacks_.erase(it);

@@ -4,12 +4,14 @@
 // rest of the simulator relies on for determinism.  Cancellation is O(1)
 // via tombstoning: cancelled entries stay in the heap and are skipped when
 // popped.  This suits the network model, which reschedules in-flight
-// transfer completions when link occupancy changes.
+// transfer completions when link occupancy changes — but cancel-heavy
+// workloads would grow the heap without bound, so the queue compacts
+// (sweeps tombstones and re-heapifies) whenever dead entries outnumber
+// live ones.  Compaction preserves the (time, seq) total order exactly.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <unordered_map>
 #include <vector>
 
@@ -36,6 +38,10 @@ class EventQueue {
   bool empty() const { return live_count_ == 0; }
   std::size_t size() const { return live_count_; }
 
+  /// Heap entries including tombstones (for tests: compaction keeps this
+  /// within a constant factor of size()).
+  std::size_t heap_size() const { return heap_.size(); }
+
   /// Time of the earliest pending event, or kTimeNever when empty.
   Time next_time();
 
@@ -59,8 +65,9 @@ class EventQueue {
   };
 
   void drop_dead_front();
+  void maybe_compact();
 
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::vector<Entry> heap_;  // min-heap via std::greater
   std::unordered_map<EventId, Callback> callbacks_;
   std::uint64_t next_seq_ = 0;
   EventId next_id_ = 1;

@@ -50,7 +50,7 @@ class PollLoop {
   void arm() {
     if (armed_ || !started_) return;
     armed_ = true;
-    thread_.post_work(iteration_cost_, [this]() { iterate(); });
+    thread_.post_work(iteration_cost_, [this]() { iterate(); }, "poll");
   }
 
   void iterate() {

@@ -17,10 +17,12 @@
 #include <deque>
 #include <functional>
 #include <string>
+#include <string_view>
 #include <utility>
 
 #include "des/engine.hpp"
 #include "des/time.hpp"
+#include "des/trace_sink.hpp"
 
 namespace des {
 
@@ -35,10 +37,12 @@ class SimThread {
   const std::string& name() const { return name_; }
 
   /// Enqueues a work item that occupies this thread for `cost` and then
-  /// executes `fn`.  Items run in FIFO order.
-  void post_work(Duration cost, std::function<void()> fn) {
+  /// executes `fn`.  Items run in FIFO order.  `label` (a string with
+  /// static lifetime) names the item's occupancy span when tracing is on.
+  void post_work(Duration cost, std::function<void()> fn,
+                 const char* label = nullptr) {
     assert(cost >= 0);
-    queue_.push_back(Item{cost, std::move(fn)});
+    queue_.push_back(Item{cost, std::move(fn), label});
     pump();
   }
 
@@ -52,6 +56,10 @@ class SimThread {
     assert(extra >= 0);
     extra_charge_ += extra;
   }
+
+  /// Extra time charged so far by the currently running item.  Tracing uses
+  /// the deltas to lay out sub-spans (callbacks) within one work item.
+  Duration pending_charge() const { return extra_charge_; }
 
   /// The SimThread whose work item is currently executing, or nullptr when
   /// the engine is running a non-thread event (NIC delivery, test driver).
@@ -81,6 +89,7 @@ class SimThread {
   struct Item {
     Duration cost;
     std::function<void()> fn;
+    const char* label = nullptr;
   };
 
   void pump() {
@@ -90,7 +99,8 @@ class SimThread {
     queue_.pop_front();
     const Time start = std::max(eng_.now(), free_at_);
     eng_.schedule_at(start + item.cost,
-                     [this, cost = item.cost, fn = std::move(item.fn)]() {
+                     [this, start, cost = item.cost, label = item.label,
+                      fn = std::move(item.fn)]() {
                        dispatch_pending_ = false;
                        in_item_ = true;
                        extra_charge_ = 0;
@@ -101,6 +111,13 @@ class SimThread {
                        in_item_ = false;
                        free_at_ = eng_.now() + extra_charge_;
                        busy_total_ += cost + extra_charge_;
+                       if (TraceSink* sink = eng_.trace_sink()) {
+                         const Duration occupied = cost + extra_charge_;
+                         if (occupied > 0) {
+                           sink->span(name_, label ? label : "work", start,
+                                      occupied);
+                         }
+                       }
                        pump();
                      });
   }
@@ -124,5 +141,37 @@ class SimThread {
 inline void charge_current(Duration cost) {
   if (SimThread* t = SimThread::current()) t->charge(cost);
 }
+
+/// RAII trace span covering the simulated CPU time charged to the current
+/// SimThread while it is alive.  Sim time does not advance inside a work
+/// item, so the span is laid out at now() + charge-so-far: consecutive
+/// ChargeSpans within one item render sequentially, nested inside the
+/// item's occupancy span.  Construct only when engine.trace_sink() is
+/// non-null (callers guard, so name formatting is never paid when off).
+class ChargeSpan {
+ public:
+  ChargeSpan(Engine& engine, std::string name)
+      : sink_(engine.trace_sink()), name_(std::move(name)) {
+    assert(sink_ && "ChargeSpan requires an installed trace sink");
+    thread_ = SimThread::current();
+    charge0_ = thread_ ? thread_->pending_charge() : 0;
+    start_ = engine.now() + charge0_;
+  }
+  ChargeSpan(const ChargeSpan&) = delete;
+  ChargeSpan& operator=(const ChargeSpan&) = delete;
+  ~ChargeSpan() {
+    const Duration dur =
+        (thread_ ? thread_->pending_charge() : 0) - charge0_;
+    sink_->span(thread_ ? thread_->name() : "events", name_, start_,
+                dur >= 0 ? dur : 0);
+  }
+
+ private:
+  TraceSink* sink_;
+  SimThread* thread_ = nullptr;
+  std::string name_;
+  Time start_ = 0;
+  Duration charge0_ = 0;
+};
 
 }  // namespace des

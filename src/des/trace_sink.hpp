@@ -1,0 +1,31 @@
+// Trace hook for the discrete-event engine.
+//
+// A TraceSink receives completed simulated-time spans and point events
+// from the engine's components (SimThread occupancy, NIC pipe activity,
+// task execution, AM callbacks).  The engine holds at most one sink; when
+// none is installed every producer reduces to a single null-pointer check,
+// so tracing costs nothing when off.  `src/obs` provides the Chrome-trace
+// implementation.
+#pragma once
+
+#include <string_view>
+
+#include "des/time.hpp"
+
+namespace des {
+
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+
+  /// A completed span of simulated time on a named track (one track per
+  /// simulated thread / NIC pipe).  `dur` may be zero.
+  virtual void span(std::string_view track, std::string_view name,
+                    Time start, Duration dur) = 0;
+
+  /// A point event on a named track.
+  virtual void instant(std::string_view track, std::string_view name,
+                       Time t) = 0;
+};
+
+}  // namespace des

@@ -4,6 +4,7 @@
 
 #include "des/engine.hpp"
 #include "net/fabric.hpp"
+#include "obs/trace.hpp"
 #include "amt/runtime.hpp"
 
 namespace hicma {
@@ -18,6 +19,7 @@ int workers_for(int cores, int nodes, ce::BackendKind backend,
 
 ExperimentResult run_tlr_cholesky(const ExperimentConfig& cfg) {
   des::Engine eng;
+  const auto tracer = obs::Tracer::attach_from_env(eng);
   net::Fabric fabric(eng, cfg.nodes, cfg.fabric);
   ce::CommWorld comm(fabric, cfg.backend, cfg.ce, cfg.mpi, cfg.lci);
 
@@ -58,6 +60,7 @@ ExperimentResult run_tlr_cholesky(const ExperimentConfig& cfg) {
   }
   res.fabric_messages = fabric.total_messages();
   res.fabric_bytes = fabric.total_bytes();
+  res.metrics = comm.metrics();
   res.mean_rank = graph.mean_offdiag_rank();
   if (cfg.tlr.mode == TlrOptions::Mode::Real) {
     res.residual = graph.verify();

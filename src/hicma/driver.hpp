@@ -9,6 +9,7 @@
 #include "ce/world.hpp"
 #include "hicma/tlr_cholesky.hpp"
 #include "net/config.hpp"
+#include "obs/stats.hpp"
 #include "amt/config.hpp"
 
 namespace hicma {
@@ -38,6 +39,9 @@ struct ExperimentResult {
   double mean_rank = 0;
   double residual = -1;             ///< real mode: ||LL^T - A|| / ||A||
   std::uint64_t tasks = 0;
+  /// Snapshot of the fabric/backend metric recorder (wire transit,
+  /// put latencies, queue waits — histograms with percentiles).
+  obs::Recorder metrics;
 };
 
 /// Worker-thread count per §6.1.2: all cores on one node; cores minus the

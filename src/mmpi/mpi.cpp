@@ -38,6 +38,8 @@ Mpi::~Mpi() {
 
 int Rank::size() const { return mpi_.size(); }
 
+des::Engine& Rank::engine() { return mpi_.fabric().engine(); }
+
 std::uint64_t Rank::next_seq(int dst) { return send_seq_[dst]++; }
 
 void Rank::charge_thread_switch() {

@@ -130,6 +130,10 @@ class Rank {
   /// (visible for tests and instrumentation).
   std::size_t pending_incoming() const { return incoming_.size(); }
 
+  /// The simulation engine driving this rank's fabric (for timestamps and
+  /// tracing in layers that only hold a Rank).
+  des::Engine& engine();
+
   /// Registers a hook invoked whenever hardware activity occurs for this
   /// rank (message arrival, local send completion).  Polling threads use
   /// it to park between MPI calls without missing events.  The hook runs

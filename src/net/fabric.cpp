@@ -1,10 +1,30 @@
 #include "net/fabric.hpp"
 
 #include <cassert>
+#include <cstdio>
 #include <cstring>
 #include <utility>
 
+#include "des/trace_sink.hpp"
+
 namespace net {
+namespace {
+
+/// "256B", "64KiB"-style label for trace spans (static buffer semantics:
+/// the Tracer copies the string, so a stack buffer at the call site is fine).
+void format_size(char* buf, std::size_t n, std::uint64_t bytes) {
+  if (bytes >= 1024 * 1024) {
+    std::snprintf(buf, n, "msg %.1fMiB",
+                  static_cast<double>(bytes) / (1024.0 * 1024.0));
+  } else if (bytes >= 1024) {
+    std::snprintf(buf, n, "msg %.1fKiB", static_cast<double>(bytes) / 1024.0);
+  } else {
+    std::snprintf(buf, n, "msg %lluB",
+                  static_cast<unsigned long long>(bytes));
+  }
+}
+
+}  // namespace
 
 PayloadPtr make_payload(const void* data, std::size_t size) {
   auto buf = std::make_shared<std::vector<std::byte>>(size);
@@ -68,6 +88,10 @@ void Fabric::do_send(Nic& src, Message m, Nic::SentHandler on_sent) {
     const des::Duration copy =
         des::transfer_time(m.wire_bytes, cfg_.loopback_bandwidth_Bps);
     const des::Time done = now + cfg_.loopback_latency + copy;
+    if (rec_ != nullptr) {
+      rec_->histogram("net.wire_transit_ns")
+          .add(static_cast<double>(done - now));
+    }
     eng_.schedule_at(done, [this, &dst, msg = std::move(m),
                             cb = std::move(on_sent)]() mutable {
       if (cb) cb();
@@ -97,6 +121,24 @@ void Fabric::do_send(Nic& src, Message m, Nic::SentHandler on_sent) {
       std::max(available_at - occ, dst.ingress_free_);
   const des::Time ingress_end = std::max(ingress_start + occ, available_at);
   dst.ingress_free_ = ingress_end;
+
+  if (rec_ != nullptr) {
+    // Queueing behind earlier messages on our own egress pipe, and the
+    // first-byte-out to last-byte-in transit of this message.
+    rec_->histogram("net.egress_wait_ns")
+        .add(static_cast<double>(egress_start - now));
+    rec_->histogram("net.wire_transit_ns")
+        .add(static_cast<double>(ingress_end - egress_start));
+  }
+  if (des::TraceSink* sink = eng_.trace_sink()) {
+    char label[48];
+    format_size(label, sizeof label, m.wire_bytes);
+    char track[32];
+    std::snprintf(track, sizeof track, "nic%d.egress", m.src);
+    sink->span(track, label, egress_start, occ);
+    std::snprintf(track, sizeof track, "nic%d.ingress", m.dst);
+    sink->span(track, label, ingress_start, ingress_end - ingress_start);
+  }
 
   eng_.schedule_at(ingress_end, [this, &dst, msg = std::move(m)]() mutable {
     ++dst.stats_.msgs_received;

@@ -28,6 +28,7 @@
 #include "des/time.hpp"
 #include "net/config.hpp"
 #include "net/message.hpp"
+#include "obs/stats.hpp"
 
 namespace net {
 
@@ -115,6 +116,11 @@ class Fabric {
   std::uint64_t total_messages() const { return total_msgs_; }
   std::uint64_t total_bytes() const { return total_bytes_; }
 
+  /// Attaches a metrics recorder ("net.wire_transit_ns",
+  /// "net.egress_wait_ns").  Null detaches; the fabric does not own it.
+  void set_recorder(obs::Recorder* rec) { rec_ = rec; }
+  obs::Recorder* recorder() const { return rec_; }
+
  private:
   friend class Nic;
   void do_send(Nic& src, Message m, Nic::SentHandler on_sent);
@@ -123,6 +129,7 @@ class Fabric {
   FabricConfig cfg_;
   std::vector<std::unique_ptr<Nic>> nics_;
   std::vector<des::Duration> skew_;
+  obs::Recorder* rec_ = nullptr;
   std::uint64_t total_msgs_ = 0;
   std::uint64_t total_bytes_ = 0;
 };

@@ -1,0 +1,124 @@
+// Metrics primitives: Counter, Gauge, log-bucketed Histogram, and the
+// named Recorder registry.
+//
+// Everything here is zero-dependency, deterministic, and mergeable:
+// per-node (or per-backend) recorders can be combined into cluster-wide
+// aggregates, the way the paper's §6.1.3 methodology sums per-rank
+// measurements.  Histograms keep fixed-size geometric buckets (8 per
+// octave, ~9% relative resolution) so p50/p90/p99/max queries cost O(1)
+// memory regardless of sample count — distributions, not just the means
+// the earlier ad-hoc counters reported.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace obs {
+
+/// Monotonic event count.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { value_ += n; }
+  std::uint64_t value() const { return value_; }
+  void merge(const Counter& o) { value_ += o.value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Last-written value, with the extremes tracked (queue depths, window
+/// occupancy, ...).
+class Gauge {
+ public:
+  void set(double v);
+  double value() const { return value_; }
+  double max() const { return max_; }
+  double min() const { return min_; }
+  void merge(const Gauge& o);
+
+ private:
+  double value_ = 0;
+  double max_ = 0;
+  double min_ = 0;
+  bool seen_ = false;
+};
+
+/// Log-bucketed histogram of non-negative samples (latencies in ns, byte
+/// counts, ...).  Samples below 1 land in bucket 0; the geometric range
+/// covers [1, 2^40) with 8 sub-buckets per octave.  Percentiles
+/// interpolate linearly within a bucket and are clamped to the observed
+/// [min, max].
+class Histogram {
+ public:
+  static constexpr int kSubBits = 3;
+  static constexpr int kSub = 1 << kSubBits;      // sub-buckets per octave
+  static constexpr int kOctaves = 40;
+  static constexpr int kBuckets = kOctaves * kSub + 1;  // +1: the [0,1) bucket
+
+  void add(double v);
+  void merge(const Histogram& o);
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_); }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+
+  /// Value at percentile `p` in [0, 100].  0 when empty.
+  double percentile(double p) const;
+  double p50() const { return percentile(50.0); }
+  double p90() const { return percentile(90.0); }
+  double p99() const { return percentile(99.0); }
+
+ private:
+  static int bucket_of(double v);
+  static double bucket_lo(int b);
+  static double bucket_hi(int b);
+
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  double sum_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+/// Named-metric registry.  Lookup creates on first use; iteration order is
+/// the name order (std::map), so reports are deterministic.  Copyable, so
+/// results structs can carry a snapshot out of a finished simulation.
+class Recorder {
+ public:
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  /// Read-only lookup; null when the metric was never touched.
+  const Counter* find_counter(std::string_view name) const;
+  const Gauge* find_gauge(std::string_view name) const;
+  const Histogram* find_histogram(std::string_view name) const;
+
+  /// Combines another recorder into this one, metric by metric.
+  void merge(const Recorder& o);
+
+  /// Human-readable dump (one line per metric) for logs and examples.
+  std::string summary() const;
+
+  const std::map<std::string, Counter, std::less<>>& counters() const {
+    return counters_;
+  }
+  const std::map<std::string, Gauge, std::less<>>& gauges() const {
+    return gauges_;
+  }
+  const std::map<std::string, Histogram, std::less<>>& histograms() const {
+    return histograms_;
+  }
+
+ private:
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Gauge, std::less<>> gauges_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
+};
+
+}  // namespace obs

@@ -1,0 +1,287 @@
+#include "obs/trace.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace obs {
+namespace {
+
+/// Escapes a string for embedding in a JSON string literal.
+void append_escaped(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+/// Nanoseconds -> microseconds with three decimals, Chrome's ts unit.
+void append_us(std::string& out, std::int64_t ns) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%lld.%03lld",
+                static_cast<long long>(ns / 1000),
+                static_cast<long long>(ns % 1000));
+  out += buf;
+}
+
+/// Recursive-descent JSON well-formedness checker (no semantics, no DOM).
+struct JsonChecker {
+  std::string_view text;
+  std::size_t i = 0;
+
+  void skip_ws() {
+    while (i < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[i]))) {
+      ++i;
+    }
+  }
+
+  bool string() {
+    if (i >= text.size() || text[i] != '"') return false;
+    ++i;
+    while (i < text.size()) {
+      const char c = text[i];
+      if (c == '\\') {
+        if (i + 1 >= text.size()) return false;
+        i += 2;
+        continue;
+      }
+      ++i;
+      if (c == '"') return true;
+    }
+    return false;
+  }
+
+  bool literal(std::string_view word) {
+    if (text.substr(i, word.size()) != word) return false;
+    i += word.size();
+    return true;
+  }
+
+  bool number() {
+    const std::size_t start = i;
+    if (i < text.size() && text[i] == '-') ++i;
+    std::size_t digits = 0;
+    while (i < text.size() &&
+           std::isdigit(static_cast<unsigned char>(text[i]))) {
+      ++i;
+      ++digits;
+    }
+    if (digits == 0) return false;
+    if (i < text.size() && text[i] == '.') {
+      ++i;
+      digits = 0;
+      while (i < text.size() &&
+             std::isdigit(static_cast<unsigned char>(text[i]))) {
+        ++i;
+        ++digits;
+      }
+      if (digits == 0) return false;
+    }
+    if (i < text.size() && (text[i] == 'e' || text[i] == 'E')) {
+      ++i;
+      if (i < text.size() && (text[i] == '+' || text[i] == '-')) ++i;
+      digits = 0;
+      while (i < text.size() &&
+             std::isdigit(static_cast<unsigned char>(text[i]))) {
+        ++i;
+        ++digits;
+      }
+      if (digits == 0) return false;
+    }
+    return i > start;
+  }
+
+  bool value(int depth) {  // NOLINT(misc-no-recursion)
+    if (depth > 256) return false;
+    skip_ws();
+    if (i >= text.size()) return false;
+    const char c = text[i];
+    if (c == '"') return string();
+    if (c == '{') {
+      ++i;
+      skip_ws();
+      if (i < text.size() && text[i] == '}') {
+        ++i;
+        return true;
+      }
+      while (true) {
+        skip_ws();
+        if (!string()) return false;
+        skip_ws();
+        if (i >= text.size() || text[i] != ':') return false;
+        ++i;
+        if (!value(depth + 1)) return false;
+        skip_ws();
+        if (i < text.size() && text[i] == ',') {
+          ++i;
+          continue;
+        }
+        break;
+      }
+      if (i >= text.size() || text[i] != '}') return false;
+      ++i;
+      return true;
+    }
+    if (c == '[') {
+      ++i;
+      skip_ws();
+      if (i < text.size() && text[i] == ']') {
+        ++i;
+        return true;
+      }
+      while (true) {
+        if (!value(depth + 1)) return false;
+        skip_ws();
+        if (i < text.size() && text[i] == ',') {
+          ++i;
+          continue;
+        }
+        break;
+      }
+      if (i >= text.size() || text[i] != ']') return false;
+      ++i;
+      return true;
+    }
+    if (c == 't') return literal("true");
+    if (c == 'f') return literal("false");
+    if (c == 'n') return literal("null");
+    return number();
+  }
+};
+
+}  // namespace
+
+TraceConfig TraceConfig::from_env() {
+  TraceConfig cfg;
+  if (const char* p = std::getenv("AMTLCE_TRACE"); p != nullptr && *p != '\0') {
+    cfg.path = p;
+  }
+  return cfg;
+}
+
+Tracer::Tracer(TraceConfig cfg) : cfg_(std::move(cfg)) {}
+
+Tracer::~Tracer() { write(); }
+
+int Tracer::tid_for(std::string_view track) {
+  if (const auto it = tids_.find(std::string(track)); it != tids_.end()) {
+    return it->second;
+  }
+  const int tid = static_cast<int>(tracks_.size());
+  tracks_.emplace_back(track);
+  tids_.emplace(std::string(track), tid);
+  return tid;
+}
+
+void Tracer::span(std::string_view track, std::string_view name,
+                  des::Time start, des::Duration dur) {
+  if (dur < 0) dur = 0;
+  events_.push_back(Event{tid_for(track), std::string(name), start, dur});
+}
+
+void Tracer::instant(std::string_view track, std::string_view name,
+                     des::Time t) {
+  events_.push_back(Event{tid_for(track), std::string(name), t, -1});
+}
+
+std::string Tracer::json() const {
+  std::string out;
+  out.reserve(events_.size() * 96 + 256);
+  out += "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  bool first = true;
+  // Thread-name metadata first, so viewers label tracks before any event.
+  for (std::size_t tid = 0; tid < tracks_.size(); ++tid) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"ph\":\"M\",\"pid\":0,\"tid\":";
+    out += std::to_string(tid);
+    out += ",\"name\":\"thread_name\",\"args\":{\"name\":\"";
+    append_escaped(out, tracks_[tid]);
+    out += "\"}}";
+  }
+  for (const Event& e : events_) {
+    if (!first) out += ',';
+    first = false;
+    if (e.dur < 0) {
+      out += "{\"ph\":\"i\",\"s\":\"t\",\"pid\":0,\"tid\":";
+      out += std::to_string(e.tid);
+      out += ",\"ts\":";
+      append_us(out, e.ts);
+    } else {
+      out += "{\"ph\":\"X\",\"pid\":0,\"tid\":";
+      out += std::to_string(e.tid);
+      out += ",\"ts\":";
+      append_us(out, e.ts);
+      out += ",\"dur\":";
+      append_us(out, e.dur);
+    }
+    out += ",\"name\":\"";
+    append_escaped(out, e.name);
+    out += "\"}";
+  }
+  out += "]}";
+  return out;
+}
+
+void Tracer::write() {
+  if (written_ || !cfg_.enabled()) return;
+  written_ = true;
+  std::FILE* f = std::fopen(cfg_.path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "obs: cannot open trace file '%s'\n",
+                 cfg_.path.c_str());
+    return;
+  }
+  const std::string text = json();
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+}
+
+std::unique_ptr<Tracer> Tracer::attach_from_env(des::Engine& engine) {
+  TraceConfig cfg = TraceConfig::from_env();
+  if (!cfg.enabled()) return nullptr;
+  // One process may run several simulations (e.g. comm_thread_study runs
+  // one per configuration); keep every trace by suffixing after the first.
+  static int attach_count = 0;
+  if (attach_count > 0) {
+    cfg.path += '.';
+    cfg.path += std::to_string(attach_count);
+  }
+  ++attach_count;
+  auto tracer = std::make_unique<Tracer>(std::move(cfg));
+  engine.set_trace_sink(tracer.get());
+  return tracer;
+}
+
+bool json_parse_ok(std::string_view text) {
+  JsonChecker checker{text};
+  if (!checker.value(0)) return false;
+  checker.skip_ws();
+  return checker.i == text.size();
+}
+
+}  // namespace obs

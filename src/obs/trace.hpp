@@ -1,0 +1,82 @@
+// Chrome-trace (chrome://tracing / Perfetto) exporter for simulated time.
+//
+// Implements des::TraceSink: every span becomes a `ph:"X"` complete event
+// and every point event a `ph:"i"` instant event in the Trace Event JSON
+// format; tracks (SimThreads, NIC pipes) map to tids with thread_name
+// metadata so the viewer labels them.  Timestamps are simulated
+// microseconds (ts/dur fields), with displayTimeUnit "ns".
+//
+// Tracing is opt-in via AMTLCE_TRACE=<path>: attach_from_env() installs a
+// tracer on the engine only when the variable is set, so an untracing run
+// pays exactly one null-pointer check per potential event.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "des/engine.hpp"
+#include "des/trace_sink.hpp"
+
+namespace obs {
+
+struct TraceConfig {
+  std::string path;  ///< output file; empty disables tracing
+
+  bool enabled() const { return !path.empty(); }
+
+  /// Reads AMTLCE_TRACE (unset/empty => disabled).
+  static TraceConfig from_env();
+};
+
+class Tracer final : public des::TraceSink {
+ public:
+  explicit Tracer(TraceConfig cfg);
+  ~Tracer() override;  // writes the file if not already written
+
+  void span(std::string_view track, std::string_view name, des::Time start,
+            des::Duration dur) override;
+  void instant(std::string_view track, std::string_view name,
+               des::Time t) override;
+
+  std::size_t num_events() const { return events_.size(); }
+
+  /// Renders the full trace JSON (what write() puts on disk).
+  std::string json() const;
+
+  /// Writes the trace to cfg.path (no-op when disabled).  Idempotent;
+  /// called automatically by the destructor.
+  void write();
+
+  /// When AMTLCE_TRACE is set, creates a tracer and installs it as
+  /// `engine`'s sink; returns null (and installs nothing) otherwise.  A
+  /// second attachment in the same process writes to "<path>.1", the next
+  /// to "<path>.2", ... so multi-simulation drivers keep every trace.
+  static std::unique_ptr<Tracer> attach_from_env(des::Engine& engine);
+
+ private:
+  struct Event {
+    int tid;
+    std::string name;
+    des::Time ts;
+    des::Duration dur;  // < 0: instant event
+  };
+
+  int tid_for(std::string_view track);
+
+  TraceConfig cfg_;
+  std::vector<Event> events_;
+  std::vector<std::string> tracks_;  // tid -> name
+  std::unordered_map<std::string, int> tids_;
+  bool written_ = false;
+};
+
+/// Minimal JSON well-formedness check (objects, arrays, strings, numbers,
+/// literals; no semantic validation).  Used by the trace smoke test and
+/// unit tests; returns true iff `text` is one complete JSON value.
+bool json_parse_ok(std::string_view text);
+
+}  // namespace obs

@@ -49,7 +49,7 @@ TEST_P(RtBackends, CrossNodeChainDeliversData) {
   EXPECT_EQ(agg.activations_sent, 20u);
   EXPECT_EQ(agg.getdata_sent, 20u);
   EXPECT_EQ(agg.data_arrivals, 20u);
-  EXPECT_GT(agg.latency.count, 0u);
+  EXPECT_GT(agg.latency.count(), 0u);
   EXPECT_GT(agg.latency.e2e_mean_ns(), 0.0);
 }
 

@@ -1,0 +1,174 @@
+#include "bench_util/harness.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+// -- netpipe_gbit edge cases (the zero-message / single-message fixes) ----
+
+TEST(Netpipe, ZeroMessagesReturnsZeroNotNan) {
+  // total < fragment => zero messages; the old code divided 0 bytes by a
+  // 0-second window (inf/NaN).
+  const double g = bench::netpipe_gbit(1 << 20, 0);
+  EXPECT_TRUE(std::isfinite(g));
+  EXPECT_DOUBLE_EQ(g, 0.0);
+  const double g2 = bench::netpipe_gbit(1 << 20, 1 << 10);
+  EXPECT_DOUBLE_EQ(g2, 0.0);
+}
+
+TEST(Netpipe, SingleMessageFallsBackToInjectionLatency) {
+  // Exactly one message: no arrival-to-arrival window; the documented
+  // fallback divides by injection-to-arrival time, so the result is a
+  // finite, positive rate (below the steady-state link rate).
+  const double g = bench::netpipe_gbit(64 << 10, 64 << 10);
+  EXPECT_TRUE(std::isfinite(g));
+  EXPECT_GT(g, 0.0);
+  EXPECT_LT(g, 200.0);  // HDR-100-class fabric: sanity ceiling
+}
+
+TEST(Netpipe, SteadyStateRateIsFiniteAndPositive) {
+  const double g = bench::netpipe_gbit(256 << 10, 8 << 20);
+  EXPECT_TRUE(std::isfinite(g));
+  EXPECT_GT(g, 0.0);
+}
+
+// -- run_pingpong volume convention (the iterations-1 fix) ----------------
+
+TEST(PingPong, OneIterationReportsZeroNotUnderflow) {
+  bench::PingPongOptions opts;
+  opts.fragment_bytes = 64 << 10;
+  opts.total_bytes = 256 << 10;
+  opts.iterations = 1;
+  const auto r = bench::run_pingpong(ce::BackendKind::Lci, opts);
+  // One iteration never crosses the wire; the old size_t expression
+  // underflowed (iterations - 1) to ~2^64 and reported absurd bandwidth.
+  EXPECT_TRUE(std::isfinite(r.gbit_per_s));
+  EXPECT_DOUBLE_EQ(r.gbit_per_s, 0.0);
+  EXPECT_GT(r.tts_s, 0.0);
+}
+
+TEST(PingPong, BandwidthCannotBeatTheWire) {
+  bench::PingPongOptions opts;
+  opts.fragment_bytes = 256 << 10;
+  opts.total_bytes = 8ull << 20;
+  opts.iterations = 4;
+  const auto r = bench::run_pingpong(ce::BackendKind::Lci, opts);
+  EXPECT_GT(r.gbit_per_s, 0.0);
+  EXPECT_LT(r.gbit_per_s, 100.5);  // HDR-100 physical limit
+}
+
+TEST(PingPong, LatencyHistogramIsPopulated) {
+  bench::PingPongOptions opts;
+  opts.fragment_bytes = 64 << 10;
+  opts.total_bytes = 256 << 10;
+  opts.iterations = 2;
+  const auto r = bench::run_pingpong(ce::BackendKind::Mpi, opts);
+  EXPECT_GT(r.latency.count(), 0u);
+  EXPECT_GT(r.latency.e2e_p50_ns(), 0.0);
+  EXPECT_GE(r.latency.e2e_p99_ns(), r.latency.e2e_p50_ns());
+  EXPECT_GE(r.latency.e2e_max_ns(), r.latency.e2e_p99_ns());
+}
+
+TEST(PingPong, SeriesMergesLatencyAcrossReps) {
+  bench::PingPongOptions opts;
+  opts.fragment_bytes = 64 << 10;
+  opts.total_bytes = 256 << 10;
+  opts.iterations = 2;
+  bench::Reps reps;
+  reps.total = 2;
+  reps.warmup = 1;
+  const auto once = bench::run_pingpong(ce::BackendKind::Lci, opts);
+  const auto series =
+      bench::run_pingpong_series(reps, ce::BackendKind::Lci, opts);
+  // warmup=1 of total=2: scalars come from one measured run, latency too.
+  EXPECT_NEAR(series.gbit_per_s, once.gbit_per_s, 1e-9);
+  EXPECT_EQ(series.latency.count(), once.latency.count());
+}
+
+// -- Reps env clamping ----------------------------------------------------
+
+struct EnvGuard {
+  ~EnvGuard() {
+    ::unsetenv("AMTLCE_REPS");
+    ::unsetenv("AMTLCE_WARMUP");
+  }
+};
+
+TEST(Reps, NegativeWarmupClampsToZero) {
+  EnvGuard guard;
+  ::setenv("AMTLCE_REPS", "3", 1);
+  ::setenv("AMTLCE_WARMUP", "-5", 1);
+  const auto r = bench::Reps::from_env();
+  EXPECT_EQ(r.total, 3);
+  EXPECT_EQ(r.warmup, 0);
+}
+
+TEST(Reps, WarmupClampedBelowTotal) {
+  EnvGuard guard;
+  ::setenv("AMTLCE_REPS", "2", 1);
+  ::setenv("AMTLCE_WARMUP", "99", 1);
+  const auto r = bench::Reps::from_env();
+  EXPECT_EQ(r.total, 2);
+  EXPECT_LT(r.warmup, r.total);
+  EXPECT_GE(r.warmup, 0);
+}
+
+TEST(Reps, NonPositiveTotalClampsToOne) {
+  EnvGuard guard;
+  ::setenv("AMTLCE_REPS", "0", 1);
+  const auto r = bench::Reps::from_env();
+  EXPECT_GE(r.total, 1);
+  EXPECT_GE(r.warmup, 0);
+  EXPECT_LT(r.warmup, r.total);
+}
+
+// -- Table CSV writer (padding + escaping fixes) --------------------------
+
+std::vector<std::string> read_lines(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+TEST(TableCsv, PadsShortRowsAndEscapesCells) {
+  const std::string prefix = "harness_csv_test_";
+  ::setenv("AMTLCE_CSV", prefix.c_str(), 1);
+  {
+    bench::Table t("csvcheck", {"a", "b", "c"});
+    t.add_row({"1", "2", "3"});
+    t.add_row({"only"});                            // short: pad to 3 fields
+    t.add_row({"x,y", "say \"hi\"", "plain"});      // needs quoting
+  }  // destructor writes the CSV
+  ::unsetenv("AMTLCE_CSV");
+
+  const std::string path = prefix + "csvcheck.csv";
+  const auto lines = read_lines(path);
+  std::remove(path.c_str());
+  ASSERT_EQ(lines.size(), 4u);
+  EXPECT_EQ(lines[0], "a,b,c");
+  EXPECT_EQ(lines[1], "1,2,3");
+  // The ragged row is padded with empty cells up to the header width, so
+  // every data line has the same field count.
+  EXPECT_EQ(lines[2], "only,,");
+  // RFC-4180: comma'd cells quoted, embedded quotes doubled.
+  EXPECT_EQ(lines[3], "\"x,y\",\"say \"\"hi\"\"\",plain");
+}
+
+TEST(TableCsv, NoFileWithoutEnv) {
+  ::unsetenv("AMTLCE_CSV");
+  { bench::Table t("nocsv", {"a"}); }
+  std::ifstream in("nocsv.csv");
+  EXPECT_FALSE(in.good());
+}
+
+}  // namespace

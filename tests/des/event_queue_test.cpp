@@ -101,4 +101,48 @@ TEST(EventQueue, ManyCancellationsDoNotDisturbOrder) {
   }
 }
 
+TEST(EventQueue, CancelStormKeepsHeapCompact) {
+  // The network model's reschedule pattern: a completion event is
+  // cancelled and rescheduled every time link occupancy changes.  Without
+  // compaction each cycle leaks one tombstone into the heap.
+  EventQueue q;
+  q.schedule(1'000'000'000, [] {});  // long-lived anchor event
+  std::size_t peak = 0;
+  for (int i = 0; i < 100000; ++i) {
+    auto id = q.schedule(1000 + i, [] {});
+    q.cancel(id);
+    peak = std::max(peak, q.heap_size());
+  }
+  EXPECT_EQ(q.size(), 1u);
+  // Compaction triggers once dead entries outnumber live ones (above a
+  // small floor), so the heap never grows past that constant bound.
+  EXPECT_LE(peak, 130u);
+  EXPECT_LE(q.heap_size(), 130u);
+  EXPECT_EQ(q.pop().time, 1'000'000'000);
+}
+
+TEST(EventQueue, CompactionPreservesOrderAndFifoTies) {
+  EventQueue q;
+  std::vector<des::EventId> doomed;
+  std::vector<int> fired;
+  // Live events: equal-time group (FIFO-sensitive) plus spread-out times.
+  for (int i = 0; i < 8; ++i) {
+    q.schedule(500, [&fired, i] { fired.push_back(i); });
+  }
+  for (int i = 0; i < 8; ++i) {
+    q.schedule(1000 + 10 * i, [&fired, i] { fired.push_back(100 + i); });
+  }
+  // Cancel-storm enough events to force several compactions underneath.
+  for (int round = 0; round < 200; ++round) {
+    doomed.push_back(q.schedule(2000 + round, [] {}));
+  }
+  for (const auto id : doomed) EXPECT_TRUE(q.cancel(id));
+  while (!q.empty()) q.pop().fn();
+  ASSERT_EQ(fired.size(), 16u);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(fired[static_cast<size_t>(i)], i);  // FIFO among time ties
+    EXPECT_EQ(fired[static_cast<size_t>(8 + i)], 100 + i);
+  }
+}
+
 }  // namespace

@@ -180,7 +180,7 @@ TEST(TlrModel, ModelModeRunsPaperTileAtSmallN) {
   cfg.workers_override = 16;
   const auto res = run_tlr_cholesky(cfg);
   EXPECT_GT(res.tts_s, 0.0);
-  EXPECT_GT(res.latency.count, 0u);
+  EXPECT_GT(res.latency.count(), 0u);
   EXPECT_GT(res.fabric_bytes, 0u);
   EXPECT_GT(res.mean_rank, 1.0);
 }

@@ -43,7 +43,7 @@ TEST_P(E2eBackends, RealTlrCholeskyOnSkewedClusterVerifies) {
 
   EXPECT_LT(graph.verify(), 1e-7);
   const auto agg = runtime.aggregate_stats();
-  ASSERT_GT(agg.latency.count, 0u);
+  ASSERT_GT(agg.latency.count(), 0u);
   EXPECT_GT(agg.latency.e2e_mean_ns(), 0.0);
   EXPECT_GE(agg.latency.hop_mean_ns(), 0.0);
   // Corrected latencies must be far below the injected multi-ms skew.

@@ -1,0 +1,194 @@
+#include "obs/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace {
+
+using obs::Counter;
+using obs::Gauge;
+using obs::Histogram;
+using obs::Recorder;
+
+TEST(Counter, AddsAndMerges) {
+  Counter a, b;
+  a.add();
+  a.add(4);
+  b.add(10);
+  EXPECT_EQ(a.value(), 5u);
+  a.merge(b);
+  EXPECT_EQ(a.value(), 15u);
+}
+
+TEST(Gauge, TracksExtremes) {
+  Gauge g;
+  g.set(5);
+  g.set(-3);
+  g.set(2);
+  EXPECT_DOUBLE_EQ(g.value(), 2);
+  EXPECT_DOUBLE_EQ(g.max(), 5);
+  EXPECT_DOUBLE_EQ(g.min(), -3);
+}
+
+TEST(Gauge, MergeIgnoresUntouched) {
+  Gauge a, untouched;
+  a.set(10);
+  a.merge(untouched);
+  EXPECT_DOUBLE_EQ(a.max(), 10);
+  EXPECT_DOUBLE_EQ(a.min(), 10);
+}
+
+TEST(Gauge, MergeCombinesExtremes) {
+  Gauge a, b;
+  a.set(10);
+  b.set(-7);
+  b.set(42);
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.value(), 42);  // last writer
+  EXPECT_DOUBLE_EQ(a.max(), 42);
+  EXPECT_DOUBLE_EQ(a.min(), -7);
+}
+
+TEST(Histogram, EmptyIsAllZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0);
+  EXPECT_DOUBLE_EQ(h.min(), 0);
+  EXPECT_DOUBLE_EQ(h.max(), 0);
+  EXPECT_DOUBLE_EQ(h.p50(), 0);
+  EXPECT_DOUBLE_EQ(h.p99(), 0);
+}
+
+TEST(Histogram, SingleSampleIsEveryPercentile) {
+  Histogram h;
+  h.add(1234.5);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.min(), 1234.5);
+  EXPECT_DOUBLE_EQ(h.max(), 1234.5);
+  EXPECT_DOUBLE_EQ(h.mean(), 1234.5);
+  // Clamping to [min, max] makes a one-sample histogram exact.
+  EXPECT_DOUBLE_EQ(h.percentile(0), 1234.5);
+  EXPECT_DOUBLE_EQ(h.p50(), 1234.5);
+  EXPECT_DOUBLE_EQ(h.p99(), 1234.5);
+  EXPECT_DOUBLE_EQ(h.percentile(100), 1234.5);
+}
+
+TEST(Histogram, SubUnitSamplesLandInZeroBucket) {
+  Histogram h;
+  h.add(0.0);
+  h.add(0.25);
+  h.add(0.9);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_GE(h.p50(), 0.0);
+  EXPECT_LE(h.p99(), 0.9);  // clamped to observed max
+}
+
+TEST(Histogram, UniformPercentilesWithinBucketResolution) {
+  Histogram h;
+  for (int v = 1; v <= 1000; ++v) h.add(v);
+  // 8 sub-buckets per octave => <= ~9% relative error, plus clamping.
+  EXPECT_NEAR(h.p50(), 500, 500 * 0.10);
+  EXPECT_NEAR(h.p90(), 900, 900 * 0.10);
+  EXPECT_NEAR(h.p99(), 990, 990 * 0.10);
+  EXPECT_DOUBLE_EQ(h.percentile(100), 1000);
+  EXPECT_DOUBLE_EQ(h.min(), 1);
+  EXPECT_DOUBLE_EQ(h.max(), 1000);
+  EXPECT_DOUBLE_EQ(h.mean(), 500.5);
+}
+
+TEST(Histogram, PercentilesAreMonotone) {
+  Histogram h;
+  for (int v = 1; v <= 317; ++v) h.add(v * 7.0);
+  double prev = 0;
+  for (double p = 0; p <= 100; p += 2.5) {
+    const double q = h.percentile(p);
+    EXPECT_GE(q, prev) << "p=" << p;
+    prev = q;
+  }
+}
+
+TEST(Histogram, MergeMatchesCombinedStream) {
+  Histogram a, b, combined;
+  std::vector<double> xs = {3, 17, 250, 80000, 1.5e9};
+  std::vector<double> ys = {1, 9, 1024, 5.5, 123456};
+  for (const double v : xs) {
+    a.add(v);
+    combined.add(v);
+  }
+  for (const double v : ys) {
+    b.add(v);
+    combined.add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_DOUBLE_EQ(a.sum(), combined.sum());
+  EXPECT_DOUBLE_EQ(a.min(), combined.min());
+  EXPECT_DOUBLE_EQ(a.max(), combined.max());
+  for (const double p : {10.0, 50.0, 90.0, 99.0}) {
+    EXPECT_DOUBLE_EQ(a.percentile(p), combined.percentile(p)) << "p=" << p;
+  }
+}
+
+TEST(Histogram, MergeWithEmptyIsIdentity) {
+  Histogram a, empty;
+  a.add(42);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_DOUBLE_EQ(a.max(), 42);
+  Histogram b;
+  b.merge(a);
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_DOUBLE_EQ(b.p50(), a.p50());
+}
+
+TEST(Histogram, HugeValuesSaturateLastOctave) {
+  Histogram h;
+  h.add(1e300);  // way past 2^40: must not index out of bounds
+  h.add(1e301);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_DOUBLE_EQ(h.max(), 1e301);
+  EXPECT_LE(h.p99(), 1e301);
+  EXPECT_GE(h.p50(), 1e300);  // clamped to observed min
+}
+
+TEST(Recorder, CreatesOnUseAndFinds) {
+  Recorder r;
+  EXPECT_EQ(r.find_counter("x"), nullptr);
+  r.counter("x").add(3);
+  ASSERT_NE(r.find_counter("x"), nullptr);
+  EXPECT_EQ(r.find_counter("x")->value(), 3u);
+  EXPECT_EQ(r.find_histogram("lat"), nullptr);
+  r.histogram("lat").add(10);
+  EXPECT_EQ(r.find_histogram("lat")->count(), 1u);
+  r.gauge("depth").set(4);
+  EXPECT_DOUBLE_EQ(r.find_gauge("depth")->value(), 4);
+}
+
+TEST(Recorder, MergeCombinesByName) {
+  Recorder a, b;
+  a.counter("msgs").add(2);
+  b.counter("msgs").add(5);
+  b.counter("only_b").add(1);
+  a.histogram("lat").add(100);
+  b.histogram("lat").add(300);
+  a.merge(b);
+  EXPECT_EQ(a.find_counter("msgs")->value(), 7u);
+  EXPECT_EQ(a.find_counter("only_b")->value(), 1u);
+  EXPECT_EQ(a.find_histogram("lat")->count(), 2u);
+  EXPECT_DOUBLE_EQ(a.find_histogram("lat")->max(), 300);
+}
+
+TEST(Recorder, SummaryListsEveryMetric) {
+  Recorder r;
+  r.counter("ce.puts").add(12);
+  r.histogram("net.wire_transit_ns").add(5000);
+  r.gauge("queue.depth").set(3);
+  const std::string s = r.summary();
+  EXPECT_NE(s.find("ce.puts"), std::string::npos);
+  EXPECT_NE(s.find("net.wire_transit_ns"), std::string::npos);
+  EXPECT_NE(s.find("queue.depth"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,125 @@
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "des/engine.hpp"
+
+namespace {
+
+using obs::json_parse_ok;
+using obs::TraceConfig;
+using obs::Tracer;
+
+TEST(JsonParseOk, AcceptsWellFormedValues) {
+  EXPECT_TRUE(json_parse_ok("{}"));
+  EXPECT_TRUE(json_parse_ok("[]"));
+  EXPECT_TRUE(json_parse_ok("  [1, 2.5, -3e-4, true, false, null]  "));
+  EXPECT_TRUE(json_parse_ok(R"({"a":{"b":[{"c":"d\"e\\f"}]},"n":0.125})"));
+  EXPECT_TRUE(json_parse_ok("\"just a string\""));
+  EXPECT_TRUE(json_parse_ok("42"));
+}
+
+TEST(JsonParseOk, RejectsMalformedValues) {
+  EXPECT_FALSE(json_parse_ok(""));
+  EXPECT_FALSE(json_parse_ok("{"));
+  EXPECT_FALSE(json_parse_ok("}"));
+  EXPECT_FALSE(json_parse_ok(R"({"a":})"));
+  EXPECT_FALSE(json_parse_ok(R"({"a":1,})"));
+  EXPECT_FALSE(json_parse_ok("[1,]"));
+  EXPECT_FALSE(json_parse_ok("[1 2]"));
+  EXPECT_FALSE(json_parse_ok(R"("unterminated)"));
+  EXPECT_FALSE(json_parse_ok("01x"));
+  EXPECT_FALSE(json_parse_ok("{} trailing"));
+  EXPECT_FALSE(json_parse_ok("1."));
+  EXPECT_FALSE(json_parse_ok("-"));
+}
+
+TEST(JsonParseOk, RejectsPathologicalNesting) {
+  std::string deep(1000, '[');
+  deep += std::string(1000, ']');
+  EXPECT_FALSE(json_parse_ok(deep));
+}
+
+TEST(Tracer, EmitsWellFormedJson) {
+  Tracer t(TraceConfig{});  // disabled: no file, but events still collect
+  t.span("comm-0", "task T1(0,0,0)", 1000, 2500);
+  t.span("nic0.egress", "msg 2.0KiB", 1500, 800);
+  t.instant("comm-0", "wake \"now\"\n", 4200);
+  EXPECT_EQ(t.num_events(), 3u);
+  const std::string j = t.json();
+  EXPECT_TRUE(json_parse_ok(j)) << j;
+  // Track metadata + the span/instant bodies.
+  EXPECT_NE(j.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(j.find("nic0.egress"), std::string::npos);
+  EXPECT_NE(j.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(j.find("\"ph\":\"i\""), std::string::npos);
+  // ns -> us conversion: 1000 ns span at ts 1.000, dur 2.500.
+  EXPECT_NE(j.find("\"ts\":1.000"), std::string::npos);
+  EXPECT_NE(j.find("\"dur\":2.500"), std::string::npos);
+}
+
+TEST(Tracer, EmptyTraceIsStillValid) {
+  Tracer t(TraceConfig{});
+  EXPECT_TRUE(json_parse_ok(t.json()));
+}
+
+TEST(Tracer, SameTrackReusesTid) {
+  Tracer t(TraceConfig{});
+  t.span("comm-0", "a", 0, 1);
+  t.span("comm-0", "b", 1, 1);
+  t.span("comm-1", "c", 2, 1);
+  const std::string j = t.json();
+  // Exactly two thread_name metadata records.
+  std::size_t n = 0;
+  for (std::size_t pos = j.find("thread_name"); pos != std::string::npos;
+       pos = j.find("thread_name", pos + 1)) {
+    ++n;
+  }
+  EXPECT_EQ(n, 2u);
+}
+
+TEST(Tracer, WriteProducesParsableFile) {
+  const std::string path = "tracer_write_test.json";
+  {
+    Tracer t(TraceConfig{path});
+    t.span("comm-0", "task", 10, 20);
+  }  // destructor writes
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream ss;
+  ss << in.rdbuf();
+  EXPECT_TRUE(json_parse_ok(ss.str()));
+  EXPECT_NE(ss.str().find("traceEvents"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(TraceConfig, DisabledWithoutEnv) {
+  ::unsetenv("AMTLCE_TRACE");
+  EXPECT_FALSE(TraceConfig::from_env().enabled());
+  des::Engine eng;
+  EXPECT_EQ(Tracer::attach_from_env(eng), nullptr);
+  EXPECT_EQ(eng.trace_sink(), nullptr);
+}
+
+TEST(TraceConfig, AttachFromEnvInstallsSink) {
+  ::setenv("AMTLCE_TRACE", "attach_test.json", 1);
+  {
+    des::Engine eng;
+    const auto tracer = Tracer::attach_from_env(eng);
+    ASSERT_NE(tracer, nullptr);
+    EXPECT_EQ(eng.trace_sink(), tracer.get());
+  }  // destructor writes the (empty) trace
+  ::unsetenv("AMTLCE_TRACE");
+  // Repeated attaches in one process suffix .1, .2, ...; this binary only
+  // attaches once, but clean up defensively.
+  std::remove("attach_test.json");
+  std::remove("attach_test.json.1");
+}
+
+}  // namespace
