@@ -119,5 +119,37 @@ int main() {
                  std::to_string(r.runtime_stats.activations_sent)});
     }
   }
+  {
+    // End-to-end reliability sublayer (ce/reliable) overhead on a
+    // fault-free fabric: the fig. 2a ping-pong with the sublayer off vs
+    // on at fault rate 0.  The sequence/CRC fields ride the fixed-size
+    // wire header, so the only cost is the 32-byte ACK per data message.
+    bench::Table t("Ablation: reliability-sublayer overhead at fault rate 0",
+                   {"backend", "fragment", "off (Gbit/s)", "on (Gbit/s)",
+                    "delta (%)"});
+    for (const auto kind : {ce::BackendKind::Mpi, ce::BackendKind::Lci}) {
+      for (const std::size_t frag :
+           {std::size_t{8} << 10, std::size_t{64} << 10,
+            std::size_t{1} << 20}) {
+        bench::PingPongOptions opts;
+        opts.fragment_bytes = frag;
+        opts.total_bytes = 64ull << 20;
+        opts.iterations = 4;
+        const auto bw = [&](bool reliable) {
+          ce::CeConfig ce_cfg;
+          ce_cfg.reliable.enabled = reliable;
+          return bench::run_pingpong(kind, opts, net::expanse_config(),
+                                     ce_cfg)
+              .gbit_per_s;
+        };
+        const double off = bw(false);
+        const double on = bw(true);
+        t.add_row({kind == ce::BackendKind::Mpi ? "MPI" : "LCI",
+                   bench::human_bytes(frag), bench::fmt(off, 1),
+                   bench::fmt(on, 1),
+                   bench::fmt((off - on) / off * 100.0, 2)});
+      }
+    }
+  }
   return 0;
 }

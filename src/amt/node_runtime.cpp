@@ -36,28 +36,34 @@ void NodeRuntime::start() {
   comm_.set_wake_callback([this]() { comm_loop_->wake(); });
   comm_loop_->start();
 
-  // The two runtime active messages (§4.1) plus the put r_tag.
-  comm_.tag_reg(
+  // The two runtime active messages (§4.1) plus the put r_tag.  The tags
+  // are compile-time distinct and the sizes within the backend AM limit,
+  // so registration cannot fail here.
+  ce::Status reg_st = comm_.tag_reg(
       wire::kTagActivate,
       [](ce::CommEngine&, ce::Tag, const void* msg, std::size_t size,
          int src, void* self) {
         static_cast<NodeRuntime*>(self)->on_activate(msg, size, src);
       },
       this, 12 * 1024);
-  comm_.tag_reg(
+  assert(reg_st == ce::Status::Ok);
+  reg_st = comm_.tag_reg(
       wire::kTagGetData,
       [](ce::CommEngine&, ce::Tag, const void* msg, std::size_t size,
          int src, void* self) {
         static_cast<NodeRuntime*>(self)->on_getdata(msg, size, src);
       },
       this, 256);
-  comm_.tag_reg(
+  assert(reg_st == ce::Status::Ok);
+  reg_st = comm_.tag_reg(
       wire::kTagDataArrived,
       [](ce::CommEngine&, ce::Tag, const void* msg, std::size_t size,
          int src, void* self) {
         static_cast<NodeRuntime*>(self)->on_data_arrived(msg, size, src);
       },
       this, 256);
+  assert(reg_st == ce::Status::Ok);
+  (void)reg_st;
 
   // Source tasks.
   std::vector<TaskKey> initial;
@@ -235,7 +241,10 @@ void NodeRuntime::emit_activation(int dst, wire::ActivationRecord&& rec) {
 void NodeRuntime::send_activate_am(
     int dst, const std::vector<wire::ActivationRecord>& records) {
   const auto buf = wire::pack_activate(records);
-  comm_.send_am(wire::kTagActivate, dst, buf.data(), buf.size());
+  const ce::Status st =
+      comm_.send_am(wire::kTagActivate, dst, buf.data(), buf.size());
+  assert(st == ce::Status::Ok && "activation batch exceeds AM limit");
+  (void)st;
   ++stats_.activate_ams;
 }
 
@@ -349,7 +358,10 @@ bool NodeRuntime::issue_fetches() {
     g.rsize = pf.record.size;
     des::charge_current(cfg_.getdata_handle_cost);
     pf.requested_ts = eng_.now();
-    comm_.send_am(wire::kTagGetData, pf.record.src_rank, &g, sizeof g);
+    const ce::Status st =
+        comm_.send_am(wire::kTagGetData, pf.record.src_rank, &g, sizeof g);
+    assert(st == ce::Status::Ok);
+    (void)st;
     ++stats_.getdata_sent;
     ++inflight_fetches_;
     issued = true;

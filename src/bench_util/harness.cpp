@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <stdexcept>
 
 #include "des/engine.hpp"
 #include "net/fabric.hpp"
@@ -20,6 +21,69 @@ Reps Reps::from_env() {
   if (r.warmup < 0) r.warmup = 0;  // a negative warm-up discards nothing
   if (r.warmup >= r.total) r.warmup = r.total - 1;
   return r;
+}
+
+namespace {
+
+bool env_double(const char* name, double& out) {
+  const char* v = std::getenv(name);
+  if (!v || !*v) return false;
+  out = std::strtod(v, nullptr);
+  return true;
+}
+
+/// Parses "node:start_ms:dur_ms" fault windows.
+bool env_window(const char* name, int& node, des::Time& start,
+                des::Duration& duration) {
+  const char* v = std::getenv(name);
+  if (!v || !*v) return false;
+  int n = 0;
+  double start_ms = 0;
+  double dur_ms = 0;
+  if (std::sscanf(v, "%d:%lf:%lf", &n, &start_ms, &dur_ms) != 3) {
+    throw std::invalid_argument(std::string(name) + " wants node:start_ms:dur_ms, got \"" + v + "\"");
+  }
+  node = n;
+  start = static_cast<des::Time>(start_ms * des::kMillisecond);
+  duration = static_cast<des::Duration>(dur_ms * des::kMillisecond);
+  return true;
+}
+
+}  // namespace
+
+bool apply_fault_env(net::FabricConfig& cfg) {
+  net::FaultConfig& f = cfg.faults;
+  bool any = false;
+  if (const char* v = std::getenv("AMTLCE_FAULT_SEED")) {
+    f.seed = std::strtoull(v, nullptr, 0);
+    any = true;
+  }
+  any |= env_double("AMTLCE_FAULT_DROP", f.drop_prob);
+  any |= env_double("AMTLCE_FAULT_DUP", f.dup_prob);
+  any |= env_double("AMTLCE_FAULT_CORRUPT", f.corrupt_prob);
+  any |= env_double("AMTLCE_FAULT_SPIKE_PROB", f.spike_prob);
+  double us = 0;
+  if (env_double("AMTLCE_FAULT_SPIKE_US", us)) {
+    f.spike_max = static_cast<des::Duration>(us * des::kMicrosecond);
+    any = true;
+  }
+  if (env_double("AMTLCE_FAULT_JITTER_US", us)) {
+    f.jitter_max = static_cast<des::Duration>(us * des::kMicrosecond);
+    any = true;
+  }
+  any |= env_window("AMTLCE_FAULT_BROWNOUT", f.brownout_node,
+                    f.brownout_start, f.brownout_duration);
+  any |= env_window("AMTLCE_FAULT_STALL", f.stall_node, f.stall_start,
+                    f.stall_duration);
+  if (any) net::validate(cfg);  // fail loudly on out-of-range knobs
+  return any;
+}
+
+bool reliable_from_env() {
+  const char* v = std::getenv("AMTLCE_RELIABLE");
+  if (!v || !*v) return false;
+  const std::string s = v;
+  return s != "0" && s != "off" && s != "false";
 }
 
 double mean_of(const Reps& reps, const std::function<double(int)>& measure) {
@@ -39,6 +103,9 @@ PingPongResult run_pingpong(ce::BackendKind backend,
                             const PingPongOptions& opts,
                             net::FabricConfig fabric, ce::CeConfig ce_cfg) {
   assert(opts.iterations >= 1 && "ping-pong needs at least one iteration");
+  // Environment chaos knobs overlay whatever the caller configured.
+  apply_fault_env(fabric);
+  if (reliable_from_env()) ce_cfg.reliable.enabled = true;
   des::Engine eng;
   const auto tracer = obs::Tracer::attach_from_env(eng);
   net::Fabric fab(eng, opts.nodes, fabric);

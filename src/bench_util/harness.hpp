@@ -30,6 +30,25 @@ struct Reps {
 /// Mean over repeated measurements with warm-up discard.
 double mean_of(const Reps& reps, const std::function<double(int)>& measure);
 
+/// Overlays AMTLCE_FAULT_* environment knobs onto `cfg.faults` so any
+/// bench binary can run under an injected fault schedule:
+///   AMTLCE_FAULT_SEED        fault RNG seed (decimal or 0x hex)
+///   AMTLCE_FAULT_DROP        drop probability in [0, 1]
+///   AMTLCE_FAULT_DUP         duplication probability
+///   AMTLCE_FAULT_CORRUPT     bit-flip corruption probability
+///   AMTLCE_FAULT_SPIKE_PROB  latency-spike probability
+///   AMTLCE_FAULT_SPIKE_US    max spike magnitude, microseconds
+///   AMTLCE_FAULT_JITTER_US   max per-message jitter, microseconds
+///   AMTLCE_FAULT_BROWNOUT    node:start_ms:dur_ms link brownout window
+///   AMTLCE_FAULT_STALL       node:start_ms:dur_ms NIC stall window
+/// The merged config is validated (std::invalid_argument on garbage).
+/// Returns true when any override was applied.
+bool apply_fault_env(net::FabricConfig& cfg);
+
+/// True when AMTLCE_RELIABLE requests the end-to-end reliability sublayer
+/// (unset, "0", "off", "false" => false; anything else => true).
+bool reliable_from_env();
+
 struct PingPongResult {
   double gbit_per_s = 0;   ///< fragment payload bandwidth
   double gflop_per_s = 0;  ///< task-body compute rate (overlap benchmark)

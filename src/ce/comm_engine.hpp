@@ -32,6 +32,53 @@ using Tag = std::uint64_t;
 
 class CommEngine;
 
+/// Recoverable result codes for communication-engine calls.  API misuse
+/// (unregistered tags, oversized messages, double registration) reports an
+/// error instead of assert-aborting, so release builds validate too; the
+/// reliability sublayer reports delivery failures the same way.
+enum class Status : int {
+  Ok = 0,
+  ErrTagUnregistered,  ///< send_am on a tag never passed to tag_reg
+  ErrTagDuplicate,     ///< tag_reg on an already-registered tag
+  ErrTooLarge,         ///< message exceeds the registered/backing limit
+  ErrTimeout,          ///< reliability: retry budget exhausted
+};
+
+inline const char* status_name(Status s) {
+  switch (s) {
+    case Status::Ok: return "Ok";
+    case Status::ErrTagUnregistered: return "ErrTagUnregistered";
+    case Status::ErrTagDuplicate: return "ErrTagDuplicate";
+    case Status::ErrTooLarge: return "ErrTooLarge";
+    case Status::ErrTimeout: return "ErrTimeout";
+  }
+  return "?";
+}
+
+/// End-to-end reliability sublayer configuration (ce/reliable).  Disabled
+/// by default: the sublayer is not installed and the wire path is
+/// byte-for-byte what it was before the sublayer existed.
+struct ReliableConfig {
+  bool enabled = false;
+
+  /// Retransmission timer: the per-message initial timeout is
+  ///   rto_initial + rtt_factor * (queue wait + serialization + latency),
+  /// then grows by rto_backoff per retry (jittered by up to rto_jitter,
+  /// capped at max(rto_max, 2 * initial)).
+  des::Duration rto_initial = 20 * des::kMicrosecond;
+  des::Duration rto_max = 2 * des::kMillisecond;
+  double rto_backoff = 2.0;
+  double rto_jitter = 0.25;
+  int rtt_factor = 4;
+
+  /// Retry budget: after this many retransmissions the message is dropped
+  /// and the failure surfaces through the error callback as ErrTimeout.
+  int max_retries = 12;
+
+  std::uint64_t seed = 0xAC4;     ///< jitter rng seed (per-node derived)
+  std::uint64_t ack_bytes = 32;   ///< wire size of an ACK/NACK frame
+};
+
 /// Active-message callback: invoked when a message with the registered tag
 /// arrives (or, for r_tag, when a put completes at the target).
 /// `msg`/`size` is the message body; `src` the sending rank; `cb_data` the
@@ -77,6 +124,10 @@ struct CeConfig {
   std::size_t max_am_size = 12 * 1024;  ///< AM payload limit (LCI ~12 KiB)
   des::Duration dispatch_cost = 40;     ///< per callback-handle dispatch
   des::Duration loop_cost = 25;         ///< per progress-loop iteration
+
+  /// End-to-end reliability sublayer, shared by both backends (installed
+  /// below mmpi/mlci by CommWorld when enabled).
+  ReliableConfig reliable;
 };
 
 /// Counters exposed by every backend (for tests and instrumentation).
@@ -101,18 +152,21 @@ class CommEngine {
   virtual int size() const = 0;
 
   /// Registers an active-message callback under `tag`.  `max_len` bounds
-  /// the message body (receive buffers are sized accordingly).
-  virtual void tag_reg(Tag tag, AmCallback cb, void* cb_data,
-                       std::size_t max_len) = 0;
+  /// the message body (receive buffers are sized accordingly).  Fails with
+  /// ErrTagDuplicate on re-registration and ErrTooLarge when max_len
+  /// exceeds the backend AM limit.
+  virtual Status tag_reg(Tag tag, AmCallback cb, void* cb_data,
+                         std::size_t max_len) = 0;
 
   /// Registers memory for one-sided transfers.
   virtual MemReg mem_reg(void* mem, std::size_t size) = 0;
 
   /// Sends an active message (body <= registered max_len and the backend
-  /// AM limit).  Returns 0 on success.  The body is copied; the caller's
-  /// buffer is immediately reusable.
-  virtual int send_am(Tag tag, int remote, const void* msg,
-                      std::size_t size) = 0;
+  /// AM limit).  Returns Status::Ok on success; ErrTagUnregistered /
+  /// ErrTooLarge on misuse (nothing is sent).  The body is copied; the
+  /// caller's buffer is immediately reusable.
+  virtual Status send_am(Tag tag, int remote, const void* msg,
+                         std::size_t size) = 0;
 
   /// One-sided put with completion on both ends (Listing 1).  Transfers
   /// `size` bytes from lreg+ldispl into rreg+rdispl on `remote`.  At local

@@ -22,6 +22,8 @@ constexpr Tag kDataTagBase = 0x8000'0000'0000'0000ULL;
 LciBackend::LciBackend(mlci::Device& device, des::Engine& engine,
                        CeConfig cfg)
     : dev_(device), eng_(engine), cfg_(cfg),
+      retry_rng_(des::derive_seed(0xB0FFULL,
+                                  static_cast<std::uint64_t>(device.rank()))),
       next_data_tag_(kDataTagBase) {
   dev_.set_am_handler(
       [this](mlci::Request&& req) { on_am_arrival(std::move(req)); });
@@ -56,8 +58,12 @@ LciBackend::LciBackend(mlci::Device& device, des::Engine& engine,
           const int n = mlci::progress(dev_);
           // Progress may have freed the resources a Retry-parked
           // operation is waiting for; those retries live on the
-          // communication thread (§5.3.3), so hand it the baton.
-          if (n > 0 && has_retries()) wake_comm_thread();
+          // communication thread (§5.3.3), so lift the backoff gate and
+          // hand it the baton.
+          if (n > 0 && has_retries()) {
+            clear_retry_pacing();
+            wake_comm_thread();
+          }
           return n > 0;
         });
     dev_.set_event_notifier([this]() { progress_loop_->wake(); });
@@ -71,6 +77,10 @@ LciBackend::LciBackend(mlci::Device& device, des::Engine& engine,
 
 LciBackend::~LciBackend() {
   if (progress_loop_) progress_loop_->stop();
+  if (retry_timer_ != des::kInvalidEvent) {
+    eng_.cancel(retry_timer_);
+    retry_timer_ = des::kInvalidEvent;
+  }
   dev_.set_event_notifier(nullptr);
   dev_.set_am_handler(nullptr);
 }
@@ -85,38 +95,38 @@ void LciBackend::wake_comm_thread() {
   if (wake_) wake_();
 }
 
-void LciBackend::tag_reg(Tag tag, AmCallback cb, void* cb_data,
-                         std::size_t max_len) {
+Status LciBackend::tag_reg(Tag tag, AmCallback cb, void* cb_data,
+                           std::size_t max_len) {
   // §5.3.2: registration is a hash-table insert; no receives are posted
   // and no buffers are pre-committed.
-  assert(!tags_.contains(tag) && "tag registered twice");
-  assert(max_len <= cfg_.max_am_size);
+  if (tags_.contains(tag)) return Status::ErrTagDuplicate;
+  if (max_len > cfg_.max_am_size) return Status::ErrTooLarge;
   tags_.emplace(tag, AmTagInfo{std::move(cb), cb_data, max_len});
+  return Status::Ok;
 }
 
 MemReg LciBackend::mem_reg(void* mem, std::size_t size) {
   return MemReg{rank(), mem, size};
 }
 
-int LciBackend::send_wire_am(int remote, Tag wire_tag, const void* body,
-                             std::size_t size) {
+mlci::Status LciBackend::send_wire_am(int remote, Tag wire_tag,
+                                      const void* body, std::size_t size) {
   const auto& lcfg = dev_.config();
-  mlci::Status st;
   if (size <= lcfg.immediate_size) {
-    st = dev_.sends(remote, wire_tag, body, size);
-  } else {
-    assert(size <= lcfg.buffered_size && "AM exceeds buffered protocol");
-    st = dev_.sendm(remote, wire_tag, body, size);
+    return dev_.sends(remote, wire_tag, body, size);
   }
-  return st == mlci::Status::Ok ? 0 : 1;
+  return dev_.sendm(remote, wire_tag, body, size);
 }
 
-int LciBackend::send_am(Tag tag, int remote, const void* msg,
-                        std::size_t size) {
-  assert(tags_.contains(tag) && "send_am on unregistered tag");
-  assert(size <= tags_.at(tag).max_len);
+Status LciBackend::send_am(Tag tag, int remote, const void* msg,
+                           std::size_t size) {
+  const auto it = tags_.find(tag);
+  if (it == tags_.end()) return Status::ErrTagUnregistered;
+  if (size > it->second.max_len) return Status::ErrTooLarge;
+  const mlci::Status st = send_wire_am(remote, tag, msg, size);
+  if (st == mlci::Status::Invalid) return Status::ErrTooLarge;
   ++stats_.ams_sent;
-  if (send_wire_am(remote, tag, msg, size) != 0) {
+  if (st == mlci::Status::Retry) {
     // Back-pressure: park the message; the communication thread retries.
     PendingSend ps;
     ps.remote = remote;
@@ -126,7 +136,7 @@ int LciBackend::send_am(Tag tag, int remote, const void* msg,
     retry_sends_.push_back(std::move(ps));
     wake_comm_thread();
   }
-  return 0;
+  return Status::Ok;
 }
 
 // ---------------------------------------------------------------------------
@@ -195,7 +205,7 @@ int LciBackend::put(const MemReg& lreg, std::ptrdiff_t ldispl,
     h.flags |= kHandshakeEagerData;
     const auto body = pack_handshake(h, r_cb_data, src, size);
     if (send_wire_am(remote, kLciHandshakeTag, body.data(), body.size()) !=
-        0) {
+        mlci::Status::Ok) {
       PendingSend ps;
       ps.remote = remote;
       ps.wire_tag = kLciHandshakeTag;
@@ -218,7 +228,8 @@ int LciBackend::put(const MemReg& lreg, std::ptrdiff_t ldispl,
   }
 
   const auto body = pack_handshake(h, r_cb_data, nullptr, 0);
-  if (send_wire_am(remote, kLciHandshakeTag, body.data(), body.size()) != 0) {
+  if (send_wire_am(remote, kLciHandshakeTag, body.data(), body.size()) !=
+      mlci::Status::Ok) {
     PendingSend ps;
     ps.remote = remote;
     ps.wire_tag = kLciHandshakeTag;
@@ -396,8 +407,10 @@ int LciBackend::drain_retries() {
   int resumed = 0;
   while (!retry_sends_.empty()) {
     PendingSend& ps = retry_sends_.front();
-    if (send_wire_am(ps.remote, ps.wire_tag, ps.body.data(),
-                     ps.body.size()) != 0) {
+    const mlci::Status st = send_wire_am(ps.remote, ps.wire_tag,
+                                         ps.body.data(), ps.body.size());
+    if (st != mlci::Status::Ok) {
+      assert(st == mlci::Status::Retry && "parked send turned invalid");
       break;  // still no resources
     }
     retry_sends_.pop_front();
@@ -416,18 +429,50 @@ int LciBackend::drain_retries() {
     retry_data_sends_.pop_front();
     ++resumed;
   }
+  if (has_retries()) {
+    // The front is still blocked: pace the next attempt instead of
+    // retrying on every progress() pass.
+    retry_next_at_ = eng_.now() + retry_backoff_.next(retry_rng_);
+    arm_retry_timer();
+  } else {
+    clear_retry_pacing();
+  }
   return resumed;
+}
+
+void LciBackend::arm_retry_timer() {
+  if (retry_timer_ != des::kInvalidEvent) eng_.cancel(retry_timer_);
+  retry_timer_ = eng_.schedule_at(retry_next_at_, [this]() {
+    retry_timer_ = des::kInvalidEvent;
+    wake_comm_thread();
+  });
+}
+
+void LciBackend::clear_retry_pacing() {
+  if (retry_timer_ != des::kInvalidEvent) {
+    eng_.cancel(retry_timer_);
+    retry_timer_ = des::kInvalidEvent;
+  }
+  retry_next_at_ = 0;
+  retry_backoff_.reset();
 }
 
 int LciBackend::progress() {
   int total = 0;
   for (;;) {
     des::charge_current(cfg_.loop_cost);
-    int processed = drain_retries();
+    int processed = 0;
+    if (has_retries() && eng_.now() >= retry_next_at_) {
+      processed += drain_retries();
+    }
     if (!cfg_.progress_thread) {
       // Ablation mode: the communication thread doubles as the progress
       // engine, like the MPI backend's coupled design.
-      processed += mlci::progress(dev_);
+      const int n = mlci::progress(dev_);
+      // Completions may free the resources the parked front is waiting
+      // on: lift the pacing gate so the next pass retries immediately.
+      if (n > 0 && has_retries()) clear_retry_pacing();
+      processed += n;
     }
     // §5.3.4: up to five AM completion handles, then all available bulk
     // handles; loop until nothing completes.

@@ -31,7 +31,9 @@
 #include <vector>
 
 #include "ce/comm_engine.hpp"
+#include "ce/reliable.hpp"
 #include "des/poll_loop.hpp"
+#include "des/rng.hpp"
 #include "des/sim_thread.hpp"
 #include "mlci/lci.hpp"
 
@@ -47,11 +49,11 @@ class LciBackend final : public CommEngine {
   int rank() const override { return dev_.rank(); }
   int size() const override;
 
-  void tag_reg(Tag tag, AmCallback cb, void* cb_data,
-               std::size_t max_len) override;
+  Status tag_reg(Tag tag, AmCallback cb, void* cb_data,
+                 std::size_t max_len) override;
   MemReg mem_reg(void* mem, std::size_t size) override;
-  int send_am(Tag tag, int remote, const void* msg,
-              std::size_t size) override;
+  Status send_am(Tag tag, int remote, const void* msg,
+                 std::size_t size) override;
   int put(const MemReg& lreg, std::ptrdiff_t ldispl, const MemReg& rreg,
           std::ptrdiff_t rdispl, std::size_t size, int remote,
           OnesidedCallback l_cb, void* l_cb_data, Tag r_tag,
@@ -133,11 +135,13 @@ class LciBackend final : public CommEngine {
   void handle_handshake(mlci::Request&& req);   // progress-thread context
   bool post_data_recv(const PendingRecv& pr);   // false => Retry
   bool start_data_send(const PendingDataSend& ps);  // false => Retry
-  int send_wire_am(int remote, Tag wire_tag, const void* body,
-                   std::size_t size);           // Immediate/Buffered by size
+  mlci::Status send_wire_am(int remote, Tag wire_tag, const void* body,
+                            std::size_t size);  // Immediate/Buffered by size
   void dispatch_data_handle(DataHandle&& h);
   void wake_comm_thread();
   int drain_retries();
+  void arm_retry_timer();
+  void clear_retry_pacing();
   bool has_retries() const {
     return !retry_sends_.empty() || !retry_recvs_.empty() ||
            !retry_data_sends_.empty();
@@ -157,6 +161,17 @@ class LciBackend final : public CommEngine {
 
   std::unique_ptr<des::SimThread> progress_thread_;
   std::unique_ptr<des::PollLoop> progress_loop_;
+
+  // Retry pacing: instead of hot-spinning drain_retries() on every
+  // progress() pass while mlci keeps answering Retry, attempts back off
+  // exponentially (with jitter, same Backoff policy as the reliability
+  // sublayer) until either the timer expires or the progress thread
+  // signals that resources were actually freed.
+  Backoff retry_backoff_;
+  des::Rng retry_rng_;
+  des::Time retry_next_at_ = 0;   ///< gate: no drain before this time
+  des::EventId retry_timer_ = des::kInvalidEvent;
+
   std::uint64_t next_data_tag_;
   std::uint64_t outstanding_direct_ = 0;  ///< sends with pending local done
   std::function<void()> wake_;

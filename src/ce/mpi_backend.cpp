@@ -22,7 +22,7 @@ constexpr Tag kDataTagBase = 0x8000'0000'0000'0000ULL;
 MpiBackend::MpiBackend(mmpi::Rank& rank, CeConfig cfg)
     : rank_(rank), cfg_(cfg), next_data_tag_(kDataTagBase) {
   // The handshake handler is itself a registered active message.
-  tag_reg(
+  const Status st = tag_reg(
       kHandshakeTag,
       [](CommEngine& ce, Tag, const void* msg, std::size_t size, int src,
          void* cb_data) {
@@ -30,6 +30,8 @@ MpiBackend::MpiBackend(mmpi::Rank& rank, CeConfig cfg)
         (void)ce;
       },
       this, sizeof(PutHandshake) + cfg_.max_am_size);
+  assert(st == Status::Ok);
+  (void)st;
 }
 
 MpiBackend::~MpiBackend() { rank_.set_event_notifier(nullptr); }
@@ -39,9 +41,9 @@ void MpiBackend::set_wake_callback(std::function<void()> fn) {
   rank_.set_event_notifier(wake_);
 }
 
-void MpiBackend::tag_reg(Tag tag, AmCallback cb, void* cb_data,
-                         std::size_t max_len) {
-  assert(!tags_.contains(tag) && "tag registered twice");
+Status MpiBackend::tag_reg(Tag tag, AmCallback cb, void* cb_data,
+                           std::size_t max_len) {
+  if (tags_.contains(tag)) return Status::ErrTagDuplicate;
   tags_.emplace(tag, AmTagInfo{std::move(cb), cb_data, max_len});
   // Five persistent wildcard receives per tag (§4.2.1).
   for (int i = 0; i < cfg_.persistent_recvs_per_tag; ++i) {
@@ -53,20 +55,23 @@ void MpiBackend::tag_reg(Tag tag, AmCallback cb, void* cb_data,
     rank_.start(e.req);
     entries_.push_back(std::move(e));
   }
+  return Status::Ok;
 }
 
 MemReg MpiBackend::mem_reg(void* mem, std::size_t size) {
   return MemReg{rank(), mem, size};
 }
 
-int MpiBackend::send_am(Tag tag, int remote, const void* msg,
-                        std::size_t size) {
-  assert(tags_.contains(tag) && "send_am on unregistered tag");
-  assert(size <= tags_.at(tag).max_len);
+Status MpiBackend::send_am(Tag tag, int remote, const void* msg,
+                           std::size_t size) {
+  const auto it = tags_.find(tag);
+  if (it == tags_.end()) return Status::ErrTagUnregistered;
+  // Oversized bodies would overflow the posted receive buffers.
+  if (size > it->second.max_len) return Status::ErrTooLarge;
   // Blocking eager MPI_Send with the registered tag (§4.2.1).
   rank_.send(msg, size, remote, tag);
   ++stats_.ams_sent;
-  return 0;
+  return Status::Ok;
 }
 
 int MpiBackend::data_entries_active() const {

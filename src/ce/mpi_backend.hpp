@@ -37,11 +37,11 @@ class MpiBackend final : public CommEngine {
   int rank() const override { return rank_.rank(); }
   int size() const override { return rank_.size(); }
 
-  void tag_reg(Tag tag, AmCallback cb, void* cb_data,
-               std::size_t max_len) override;
+  Status tag_reg(Tag tag, AmCallback cb, void* cb_data,
+                 std::size_t max_len) override;
   MemReg mem_reg(void* mem, std::size_t size) override;
-  int send_am(Tag tag, int remote, const void* msg,
-              std::size_t size) override;
+  Status send_am(Tag tag, int remote, const void* msg,
+                 std::size_t size) override;
   int put(const MemReg& lreg, std::ptrdiff_t ldispl, const MemReg& rreg,
           std::ptrdiff_t rdispl, std::size_t size, int remote,
           OnesidedCallback l_cb, void* l_cb_data, Tag r_tag,

@@ -1,0 +1,169 @@
+// End-to-end reliability sublayer shared by both communication-engine
+// backends.
+//
+// The simulated fabric can be configured to drop, duplicate, corrupt, and
+// delay messages (net::FaultConfig).  Neither mmpi nor mlci was designed
+// for a lossy transport — a lost RTS or CTS deadlocks a rendezvous, a
+// duplicated CTS trips protocol asserts.  Instead of teaching both
+// libraries loss recovery, this sublayer slots in *below* them as a
+// net::LinkShim on every NIC (the role a reliable-connection queue pair
+// plays under a real InfiniBand MPI):
+//
+//   * every outgoing cross-node message gets a per-(src,dst) sequence
+//     number and a CRC-32C over header + payload;
+//   * the receiver verifies the checksum (NACKing corrupt frames),
+//     suppresses duplicates, ACKs every data frame, and only then passes
+//     the message up to the library's deliver handler;
+//   * the sender retransmits unACKed messages under exponential backoff
+//     with jitter and a bounded retry budget; exhausting the budget
+//     surfaces as a recoverable ce::Status::ErrTimeout through an error
+//     callback instead of an abort.
+//
+// With ReliableConfig::enabled == false the shim is never installed and
+// the wire path is untouched.  The same Backoff policy object is reused by
+// the LCI backend to pace its Retry-parked operations.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "ce/comm_engine.hpp"
+#include "des/engine.hpp"
+#include "des/rng.hpp"
+#include "net/fabric.hpp"
+
+namespace ce {
+
+/// CRC-32C (Castagnoli), bitwise-reflected, software table.  `seed` chains
+/// multi-buffer checksums (pass a previous result).
+std::uint32_t crc32c(const void* data, std::size_t n, std::uint32_t seed = 0);
+
+/// The checksum the reliability sublayer stores in WireHeader::rel_crc:
+/// CRC-32C over every load-bearing header field plus the payload bytes.
+std::uint32_t message_crc(const net::Message& m);
+
+/// Exponential backoff with multiplicative jitter: delay(i) =
+/// base * factor^i * uniform[1, 1+jitter), capped at `cap`.  Shared by the
+/// retransmission timers and the LCI backend's Retry pacing.
+struct Backoff {
+  des::Duration base = 1 * des::kMicrosecond;
+  des::Duration cap = 64 * des::kMicrosecond;
+  double factor = 2.0;
+  double jitter = 0.25;
+
+  /// Delay for the next attempt; grows the internal attempt count.
+  des::Duration next(des::Rng& rng);
+  void reset() { attempt_ = 0; }
+  int attempts() const { return attempt_; }
+
+ private:
+  int attempt_ = 0;
+};
+
+/// Aggregate sublayer counters (also exported via obs::Recorder "ce.rel.*").
+struct ReliableStats {
+  std::uint64_t data_sent = 0;
+  std::uint64_t retransmits = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t acks_sent = 0;
+  std::uint64_t nacks_sent = 0;
+  std::uint64_t duplicates_suppressed = 0;
+  std::uint64_t corrupt_discarded = 0;
+};
+
+/// Delivery-failure notification: the sublayer gave up on (src -> dst,
+/// seq) after the retry budget.  `status` is ErrTimeout.
+using DeliveryErrorCallback = std::function<void(
+    net::NodeId src, net::NodeId dst, std::uint64_t seq, Status status)>;
+
+class ReliableDomain;
+
+/// One node's half of the sublayer: sender-side retransmission state and
+/// receiver-side dedup/ACK state, installed as the NIC's LinkShim.
+class ReliableChannel final : public net::LinkShim {
+ public:
+  ReliableChannel(ReliableDomain& domain, net::Fabric& fabric,
+                  net::NodeId node);
+  ~ReliableChannel() override;
+
+  void shim_send(net::Message&& m, std::function<void()> on_sent) override;
+  bool shim_deliver(net::Message& m) override;
+
+  /// Cancels every pending retransmission timer (domain teardown).
+  void cancel_timers();
+
+  std::size_t unacked() const;
+
+ private:
+  struct Unacked {
+    net::Message msg;            ///< retransmission copy (payload shared)
+    des::Time first_sent = 0;
+    int attempts = 1;            ///< transmissions so far
+    des::Duration rto = 0;       ///< current timeout
+    des::Duration rto_cap = 0;   ///< per-message cap (size-dependent)
+    des::EventId timer = des::kInvalidEvent;
+  };
+  struct PeerRecv {
+    std::uint64_t cum = 0;            ///< all seq <= cum seen
+    std::set<std::uint64_t> ahead;    ///< out-of-order seqs > cum
+  };
+
+  void transmit(net::NodeId dst, std::uint64_t seq,
+                std::function<void()> on_sent);
+  void arm_timer(net::NodeId dst, std::uint64_t seq);
+  void on_timer(net::NodeId dst, std::uint64_t seq);
+  void send_control(net::NodeId dst, std::uint16_t kind, std::uint64_t seq);
+  void on_control(const net::Message& m);
+  bool note_received(net::NodeId src, std::uint64_t seq);  ///< false = dup
+
+  ReliableDomain& domain_;
+  net::Fabric& fabric_;
+  des::Engine& eng_;
+  net::NodeId node_;
+  des::Rng rng_;
+  std::vector<std::uint64_t> next_seq_;              ///< per peer
+  std::vector<std::map<std::uint64_t, Unacked>> unacked_;  ///< per peer
+  std::vector<PeerRecv> recv_;                       ///< per peer
+};
+
+/// Owns one ReliableChannel per node and installs them as NIC shims;
+/// uninstalls on destruction.  Holds the shared config, stats, recorder
+/// hookup, and the error callback.
+class ReliableDomain {
+ public:
+  ReliableDomain(net::Fabric& fabric, ReliableConfig cfg);
+  ~ReliableDomain();
+  ReliableDomain(const ReliableDomain&) = delete;
+  ReliableDomain& operator=(const ReliableDomain&) = delete;
+
+  const ReliableConfig& config() const { return cfg_; }
+  const ReliableStats& stats() const { return stats_; }
+
+  /// Invoked (from event context) when a message exhausts its retry
+  /// budget.  Default: counted only.
+  void set_error_callback(DeliveryErrorCallback cb) { on_error_ = std::move(cb); }
+
+  /// Metrics sink for ce.rel.* counters and retransmit-latency histograms
+  /// (null detaches; not owned).
+  void set_recorder(obs::Recorder* rec) { rec_ = rec; }
+
+  /// Messages currently awaiting an ACK, over all nodes (quiescence
+  /// check for drivers and tests).
+  std::size_t unacked() const;
+
+ private:
+  friend class ReliableChannel;
+
+  net::Fabric& fabric_;
+  ReliableConfig cfg_;
+  ReliableStats stats_;
+  obs::Recorder* rec_ = nullptr;
+  DeliveryErrorCallback on_error_;
+  std::vector<std::unique_ptr<ReliableChannel>> channels_;
+};
+
+}  // namespace ce

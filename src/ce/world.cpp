@@ -26,6 +26,10 @@ CommWorld::CommWorld(net::Fabric& fabric, BackendKind kind, CeConfig ce_cfg,
           lci_->device(r), fabric.engine(), ce_cfg));
     }
   }
+  if (ce_cfg.reliable.enabled) {
+    reliable_ = std::make_unique<ReliableDomain>(fabric, ce_cfg.reliable);
+    reliable_->set_recorder(&recorder_);
+  }
   fabric.set_recorder(&recorder_);
   for (auto& e : engines_) e->set_recorder(&recorder_);
 }

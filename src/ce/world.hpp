@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "ce/comm_engine.hpp"
+#include "ce/reliable.hpp"
 #include "mlci/lci.hpp"
 #include "mmpi/mpi.hpp"
 #include "net/fabric.hpp"
@@ -37,12 +38,19 @@ class CommWorld {
   }
 
   /// True when every engine is idle (global communication quiescence).
+  /// With the reliability sublayer enabled this also requires every sent
+  /// message to have been ACKed.
   bool all_idle() const {
     for (const auto& e : engines_) {
       if (!e->idle()) return false;
     }
-    return true;
+    return reliable_ == nullptr || reliable_->unacked() == 0;
   }
+
+  /// The end-to-end reliability sublayer, or null when
+  /// CeConfig::reliable.enabled was false.
+  ReliableDomain* reliability() { return reliable_.get(); }
+  const ReliableDomain* reliability() const { return reliable_.get(); }
 
  private:
   BackendKind kind_;
@@ -51,6 +59,9 @@ class CommWorld {
   std::unique_ptr<mmpi::Mpi> mpi_;
   std::unique_ptr<mlci::Lci> lci_;
   std::vector<std::unique_ptr<CommEngine>> engines_;
+  // Declared last: uninstalls its NIC shims and cancels retransmission
+  // timers before the libraries above go away.
+  std::unique_ptr<ReliableDomain> reliable_;
 };
 
 }  // namespace ce

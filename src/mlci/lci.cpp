@@ -64,7 +64,7 @@ net::Message Device::base_message(int dst, Tag tag, std::uint16_t kind,
 
 Status Device::sends(int dst, Tag tag, const void* buf, std::size_t n) {
   const Config& cfg = lci_.cfg_;
-  assert(n <= cfg.immediate_size && "Immediate payload too large");
+  if (n > cfg.immediate_size) return Status::Invalid;
   des::charge_current(cfg.op_overhead);
   if (immediate_free_ == 0) return Status::Retry;
   --immediate_free_;
@@ -82,7 +82,7 @@ Status Device::sends(int dst, Tag tag, const void* buf, std::size_t n) {
 
 Status Device::sendm(int dst, Tag tag, const void* buf, std::size_t n) {
   const Config& cfg = lci_.cfg_;
-  assert(n <= cfg.buffered_size && "Buffered payload too large");
+  if (n > cfg.buffered_size) return Status::Invalid;
   des::charge_current(cfg.op_overhead);
   if (packets_free_ == 0) return Status::Retry;
   --packets_free_;
@@ -128,7 +128,7 @@ Status Device::putd(int dst, Tag tag, const void* buf, std::size_t n,
                     std::uint64_t remote_base, Comp comp,
                     const void* imm_data, std::size_t imm_size) {
   const Config& cfg = lci_.cfg_;
-  assert(imm_size <= cfg.buffered_size && "immediate data too large");
+  if (imm_size > cfg.buffered_size) return Status::Invalid;
   des::charge_current(cfg.op_overhead);
   if (direct_free_ == 0) return Status::Retry;
   --direct_free_;

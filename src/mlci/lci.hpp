@@ -40,7 +40,8 @@ using Tag = std::uint64_t;
 
 enum class Status {
   Ok,
-  Retry,  ///< insufficient resources; progress and resubmit
+  Retry,    ///< insufficient resources; progress and resubmit
+  Invalid,  ///< protocol size limit violated; the call did nothing
 };
 
 struct Config {

@@ -1,6 +1,7 @@
 #include "net/clock_sync.hpp"
 
 #include <cassert>
+#include <functional>
 #include <limits>
 
 namespace net {
@@ -13,24 +14,30 @@ constexpr std::uint64_t kProbeBytes = 64;
 
 }  // namespace
 
-std::vector<des::Duration> ClockSync::synchronize(Fabric& fabric, int rounds) {
-  assert(rounds > 0);
+ClockSync::Result ClockSync::synchronize(Fabric& fabric,
+                                         const Options& opts) {
+  assert(opts.rounds > 0 && opts.max_attempts > 0);
   const int n = fabric.num_nodes();
-  std::vector<des::Duration> offsets(static_cast<std::size_t>(n), 0);
-  if (n == 1) return offsets;
+  Result res;
+  res.offsets.assign(static_cast<std::size_t>(n), 0);
+  if (n == 1) return res;
 
   des::Engine& eng = fabric.engine();
 
   struct State {
     int target = 1;          // node currently being synchronized
     int round = 0;           // probe round for that node
+    int attempt = 0;         // retransmission count within the round
     des::Time t1_local = 0;  // root clock when probe sent
     des::Duration best_rtt = std::numeric_limits<des::Duration>::max();
     des::Duration best_offset = 0;
+    bool have_sample = false;
     bool done = false;
+    des::EventId timer = des::kInvalidEvent;
   } st;
 
-  // Every non-root node echoes probes, stamping its local receive time.
+  // Every non-root node echoes probes, stamping its local receive time and
+  // reflecting the probe identity so the root can reject stale echoes.
   // t2 == t3 in this implementation (the echo turns around instantly; the
   // modeled NIC pipes still contribute symmetric delays).
   for (NodeId node = 1; node < n; ++node) {
@@ -44,11 +51,33 @@ std::vector<des::Duration> ClockSync::synchronize(Fabric& fabric, int rounds) {
       echo.hdr.kind = kEcho;
       echo.hdr.imm[0] =
           static_cast<std::uint64_t>(fabric.local_clock(node));
+      echo.hdr.imm[1] = m.hdr.imm[1];  // target
+      echo.hdr.imm[2] = m.hdr.imm[2];  // (round << 16) | attempt
       fabric.nic(node).send(std::move(echo));
     });
   }
 
-  auto send_probe = [&fabric, &st]() {
+  const auto probe_timeout = [&fabric, &opts](NodeId target) {
+    if (opts.timeout > 0) return opts.timeout;
+    const FaultConfig& f = fabric.config().faults;
+    const des::Duration round_trip =
+        2 * (fabric.latency(0, target) + fabric.occupancy(kProbeBytes));
+    // Generous slack: faults may add jitter/spike delay in each direction.
+    const des::Duration to =
+        4 * round_trip + 2 * (f.jitter_max + f.spike_max);
+    return to > des::kMicrosecond ? to : des::kMicrosecond;
+  };
+
+  const auto probe_id = [&st]() {
+    return (static_cast<std::uint64_t>(st.round) << 16) |
+           static_cast<std::uint64_t>(st.attempt);
+  };
+
+  // send_probe / on_timeout / advance are mutually recursive.
+  std::function<void()> send_probe;
+  std::function<void()> on_timeout;
+
+  send_probe = [&]() {
     st.t1_local = fabric.local_clock(0);
     Message probe;
     probe.src = 0;
@@ -56,45 +85,92 @@ std::vector<des::Duration> ClockSync::synchronize(Fabric& fabric, int rounds) {
     probe.wire_bytes = kProbeBytes;
     probe.hdr.proto = kProtoRaw;
     probe.hdr.kind = kProbe;
+    probe.hdr.imm[1] = static_cast<std::uint64_t>(st.target);
+    probe.hdr.imm[2] = probe_id();
     fabric.nic(0).send(std::move(probe));
+    st.timer = eng.schedule_after(probe_timeout(st.target), on_timeout);
   };
 
-  fabric.nic(0).set_deliver_handler(
-      [&fabric, &st, &offsets, rounds, n, &send_probe](Message&& m) {
-        if (m.hdr.proto != kProtoRaw || m.hdr.kind != kEcho) return;
-        const des::Time t4 = fabric.local_clock(0);
-        const auto t2 = static_cast<des::Time>(m.hdr.imm[0]);
-        const des::Duration rtt = t4 - st.t1_local;
-        // offset = remote_clock - root_clock, assuming symmetric one-way
-        // delays: t2 = t1 + delay + offset, t4 = t2 - offset + delay.
-        const des::Duration offset = t2 - st.t1_local - rtt / 2;
-        if (rtt < st.best_rtt) {
-          st.best_rtt = rtt;
-          st.best_offset = offset;
-        }
-        if (++st.round < rounds) {
-          send_probe();
-          return;
-        }
-        offsets[static_cast<std::size_t>(st.target)] = st.best_offset;
-        st.round = 0;
-        st.best_rtt = std::numeric_limits<des::Duration>::max();
-        if (++st.target < n) {
-          send_probe();
-        } else {
-          st.done = true;
-        }
-      });
+  // Steps to the next round (or node, or completion).  The caller has
+  // either recorded a sample for the current round or given up on it.
+  const auto advance = [&]() {
+    st.attempt = 0;
+    if (++st.round < opts.rounds) {
+      send_probe();
+      return;
+    }
+    if (st.have_sample) {
+      res.offsets[static_cast<std::size_t>(st.target)] = st.best_offset;
+    } else {
+      res.synced = false;  // every probe to this node was lost
+    }
+    st.round = 0;
+    st.best_rtt = std::numeric_limits<des::Duration>::max();
+    st.have_sample = false;
+    if (++st.target < n) {
+      send_probe();
+    } else {
+      st.done = true;
+    }
+  };
+
+  on_timeout = [&]() {
+    st.timer = des::kInvalidEvent;
+    ++res.probes_lost;
+    if (++st.attempt < opts.max_attempts) {
+      send_probe();  // probe or echo lost (or late): try again
+      return;
+    }
+    advance();  // retry budget exhausted; no sample from this round
+  };
+
+  fabric.nic(0).set_deliver_handler([&](Message&& m) {
+    if (m.hdr.proto != kProtoRaw || m.hdr.kind != kEcho) return;
+    // Stale echo (an earlier attempt's reply outliving its timeout, or a
+    // fabric-injected duplicate): ignore; only the outstanding probe's
+    // echo pairs with t1_local.
+    if (m.hdr.imm[1] != static_cast<std::uint64_t>(st.target) ||
+        m.hdr.imm[2] != probe_id() || st.timer == des::kInvalidEvent) {
+      return;
+    }
+    eng.cancel(st.timer);
+    st.timer = des::kInvalidEvent;
+    const des::Time t4 = fabric.local_clock(0);
+    const auto t2 = static_cast<des::Time>(m.hdr.imm[0]);
+    const des::Duration rtt = t4 - st.t1_local;
+    // offset = remote_clock - root_clock, assuming symmetric one-way
+    // delays: t2 = t1 + delay + offset, t4 = t2 - offset + delay.
+    const des::Duration offset = t2 - st.t1_local - rtt / 2;
+    if (rtt < st.best_rtt) {
+      st.best_rtt = rtt;
+      st.best_offset = offset;
+    }
+    st.have_sample = true;
+    advance();
+  });
 
   send_probe();
   eng.run_while_pending([&st]() { return st.done; });
-  assert(st.done && "clock sync did not complete");
+  // Timers keep the exchange live, so done is guaranteed; be defensive
+  // anyway — the handlers capture this stack frame.
+  if (st.timer != des::kInvalidEvent) {
+    eng.cancel(st.timer);
+    st.timer = des::kInvalidEvent;
+  }
+  if (!st.done) res.synced = false;
 
   // Leave the NICs handler-free for the real communication library.
   for (NodeId node = 0; node < n; ++node) {
     fabric.nic(node).set_deliver_handler(nullptr);
   }
-  return offsets;
+  return res;
+}
+
+std::vector<des::Duration> ClockSync::synchronize(Fabric& fabric,
+                                                  int rounds) {
+  Options opts;
+  opts.rounds = rounds;
+  return synchronize(fabric, opts).offsets;
 }
 
 }  // namespace net

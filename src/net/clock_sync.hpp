@@ -21,9 +21,31 @@ namespace net {
 
 class ClockSync {
  public:
+  struct Options {
+    int rounds = 5;          ///< probe rounds per node (min-RTT filter)
+    /// Per-probe timeout before the probe is retransmitted.  0 derives a
+    /// bound from the fabric config (round trip + worst-case fault delay).
+    des::Duration timeout = 0;
+    int max_attempts = 8;    ///< probe (re)transmissions per round
+  };
+
+  struct Result {
+    std::vector<des::Duration> offsets;  ///< per node, relative to node 0
+    /// True when every node produced at least one valid sample.  False
+    /// means some node's offset could not be estimated (offset left 0) —
+    /// e.g. the link was browned out for the whole exchange.
+    bool synced = true;
+    std::uint64_t probes_lost = 0;  ///< probe timeouts (lost or late)
+  };
+
   /// Estimated offsets such that global_time ~= local_clock(n) - offset[n].
-  /// Runs `rounds` probes per node and uses the minimum-RTT sample.
-  /// Drives the engine until the exchange completes.
+  /// Runs `rounds` probes per node and uses the minimum-RTT sample; lost
+  /// probes (the fabric may drop, corrupt, or stall traffic) time out and
+  /// are retransmitted up to `max_attempts` times per round.  Drives the
+  /// engine until the exchange completes.
+  static Result synchronize(Fabric& fabric, const Options& opts);
+
+  /// Legacy convenience: fault-free fabrics always sync.
   static std::vector<des::Duration> synchronize(Fabric& fabric,
                                                 int rounds = 5);
 };

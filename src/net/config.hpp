@@ -7,6 +7,48 @@
 
 namespace net {
 
+/// Deterministic fault-injection knobs.  Everything defaults to "off": the
+/// fabric stays a perfect lossless pipe unless an experiment opts in.  All
+/// randomness derives from `seed` through des::Rng, so a fault schedule is
+/// bit-reproducible per seed.  Loopback (src == dst) traffic is never
+/// faulted — it models a memory copy, not a wire.
+struct FaultConfig {
+  std::uint64_t seed = 0xFA17;
+
+  /// Per-message probabilities, each in [0, 1].
+  double drop_prob = 0;     ///< message silently lost after egress
+  double dup_prob = 0;      ///< message delivered twice
+  double corrupt_prob = 0;  ///< one payload bit flipped in flight (header
+                            ///< immediates imm[3] for virtual payloads)
+
+  /// Latency perturbation: every message gets an extra uniform
+  /// [0, jitter_max) delay; with probability spike_prob it additionally
+  /// gets a uniform [0, spike_max) spike.
+  double spike_prob = 0;
+  des::Duration spike_max = 0;
+  des::Duration jitter_max = 0;
+
+  /// Timed link brownout: every message to or from `brownout_node` during
+  /// [brownout_start, brownout_start + brownout_duration) is dropped.
+  int brownout_node = -1;
+  des::Time brownout_start = 0;
+  des::Duration brownout_duration = 0;
+
+  /// NIC stall window: `stall_node`'s egress pipe is frozen during
+  /// [stall_start, stall_start + stall_duration); sends queue behind it.
+  int stall_node = -1;
+  des::Time stall_start = 0;
+  des::Duration stall_duration = 0;
+
+  /// True when any fault mechanism is active.
+  bool any() const {
+    return drop_prob > 0 || dup_prob > 0 || corrupt_prob > 0 ||
+           spike_prob > 0 || jitter_max > 0 ||
+           (brownout_node >= 0 && brownout_duration > 0) ||
+           (stall_node >= 0 && stall_duration > 0);
+  }
+};
+
 struct FabricConfig {
   /// Per-NIC, per-direction aggregate link bandwidth in bytes/second.
   /// Expanse: 2 x 50 Gbit/s HDR InfiniBand = 100 Gbit/s = 12.5 GB/s
@@ -36,7 +78,18 @@ struct FabricConfig {
   /// uniform in [-clock_skew_max, +clock_skew_max] (0 disables).
   des::Duration clock_skew_max = 0;
   std::uint64_t clock_seed = 0x5eed;
+
+  /// Fault injection (off by default; see FaultConfig).
+  FaultConfig faults;
 };
+
+/// Validates a configuration, throwing std::invalid_argument with a
+/// field-naming message on the first violation (NaN / non-positive
+/// bandwidths or rates, negative latencies, nodes_per_switch < 1, fault
+/// probabilities outside [0, 1], negative fault windows).  The Fabric
+/// constructor calls this, so a bad config fails loudly at construction
+/// instead of as a downstream div-by-zero or infinite timestamp.
+void validate(const FabricConfig& cfg);
 
 /// Parameters mirroring the paper's SDSC Expanse platform (Table 1).
 inline FabricConfig expanse_config() { return FabricConfig{}; }

@@ -1,8 +1,12 @@
 #include "net/fabric.hpp"
 
 #include <cassert>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <optional>
+#include <stdexcept>
+#include <string>
 #include <utility>
 
 #include "des/trace_sink.hpp"
@@ -32,9 +36,62 @@ PayloadPtr make_payload(const void* data, std::size_t size) {
   return buf;
 }
 
+namespace {
+
+[[noreturn]] void reject(const char* field, double value) {
+  throw std::invalid_argument(std::string("FabricConfig: invalid ") + field +
+                              " = " + std::to_string(value));
+}
+
+void check_finite_positive(const char* field, double v) {
+  if (!std::isfinite(v) || v <= 0.0) reject(field, v);
+}
+
+void check_non_negative(const char* field, double v) {
+  if (!std::isfinite(v) || v < 0.0) reject(field, v);
+}
+
+void check_probability(const char* field, double v) {
+  if (!std::isfinite(v) || v < 0.0 || v > 1.0) reject(field, v);
+}
+
+}  // namespace
+
+void validate(const FabricConfig& cfg) {
+  check_finite_positive("link_bandwidth_Bps", cfg.link_bandwidth_Bps);
+  check_finite_positive("nic_msg_rate", cfg.nic_msg_rate);
+  check_finite_positive("loopback_bandwidth_Bps", cfg.loopback_bandwidth_Bps);
+  check_non_negative("wire_latency", static_cast<double>(cfg.wire_latency));
+  check_non_negative("per_hop_latency",
+                     static_cast<double>(cfg.per_hop_latency));
+  check_non_negative("loopback_latency",
+                     static_cast<double>(cfg.loopback_latency));
+  check_non_negative("clock_skew_max",
+                     static_cast<double>(cfg.clock_skew_max));
+  if (cfg.nodes_per_switch < 1) {
+    reject("nodes_per_switch", cfg.nodes_per_switch);
+  }
+  const FaultConfig& f = cfg.faults;
+  check_probability("faults.drop_prob", f.drop_prob);
+  check_probability("faults.dup_prob", f.dup_prob);
+  check_probability("faults.corrupt_prob", f.corrupt_prob);
+  check_probability("faults.spike_prob", f.spike_prob);
+  check_non_negative("faults.spike_max", static_cast<double>(f.spike_max));
+  check_non_negative("faults.jitter_max", static_cast<double>(f.jitter_max));
+  check_non_negative("faults.brownout_duration",
+                     static_cast<double>(f.brownout_duration));
+  check_non_negative("faults.stall_duration",
+                     static_cast<double>(f.stall_duration));
+}
+
 Fabric::Fabric(des::Engine& engine, int num_nodes, FabricConfig config)
-    : eng_(engine), cfg_(config) {
-  assert(num_nodes > 0);
+    : eng_(engine), cfg_(config),
+      fault_rng_(des::derive_seed(config.faults.seed, 0xFA01)) {
+  validate(cfg_);
+  if (num_nodes < 1) {
+    throw std::invalid_argument("Fabric: num_nodes must be >= 1, got " +
+                                std::to_string(num_nodes));
+  }
   nics_.reserve(static_cast<std::size_t>(num_nodes));
   for (NodeId n = 0; n < num_nodes; ++n) {
     nics_.emplace_back(std::unique_ptr<Nic>(new Nic(*this, n)));
@@ -69,9 +126,92 @@ des::Duration Fabric::occupancy(std::uint64_t bytes) const {
 }
 
 void Nic::send(Message m, SentHandler on_sent) {
+  if (shim_ != nullptr) {
+    shim_->shim_send(std::move(m), std::move(on_sent));
+    return;
+  }
+  raw_send(std::move(m), std::move(on_sent));
+}
+
+void Nic::raw_send(Message m, SentHandler on_sent) {
   assert(m.src == node_ && "message src must be the sending NIC's node");
   assert(m.dst >= 0 && m.dst < fabric_.num_nodes());
   fabric_.do_send(*this, std::move(m), std::move(on_sent));
+}
+
+void Nic::dispatch(Message&& m) {
+  ++stats_.msgs_received;
+  stats_.bytes_received += m.wire_bytes;
+  if (shim_ != nullptr && shim_->shim_deliver(m)) return;
+  if (!deliver_) {
+    // Without faults a missing handler is a wiring bug; with faults it is
+    // a legitimate late arrival (e.g. a duplicated echo landing after a
+    // protocol tore its handler down) and is dropped, counted.
+    assert(fabric_.cfg_.faults.any() && "no deliver handler installed");
+    ++fabric_.fault_stats_.undeliverable;
+    fabric_.count_fault("net.fault.undeliverable");
+    return;
+  }
+  deliver_(std::move(m));
+}
+
+void Fabric::count_fault(const char* name) {
+  if (rec_ != nullptr) rec_->counter(name).add();
+}
+
+Fabric::FaultPlan Fabric::plan_faults(const Message& m,
+                                      des::Time wire_entry) {
+  const FaultConfig& f = cfg_.faults;
+  FaultPlan plan;
+  // Brownout: the link to/from the browned-out node eats every message in
+  // the window (deterministic, no rng draw).
+  if (f.brownout_node >= 0 && f.brownout_duration > 0 &&
+      (m.src == f.brownout_node || m.dst == f.brownout_node) &&
+      wire_entry >= f.brownout_start &&
+      wire_entry < f.brownout_start + f.brownout_duration) {
+    plan.drop = true;
+    ++fault_stats_.brownout_drops;
+    count_fault("net.fault.brownout_drops");
+    return plan;
+  }
+  if (f.drop_prob > 0 && fault_rng_.uniform() < f.drop_prob) {
+    plan.drop = true;
+    return plan;
+  }
+  if (f.dup_prob > 0 && fault_rng_.uniform() < f.dup_prob) plan.dup = true;
+  if (f.corrupt_prob > 0 && fault_rng_.uniform() < f.corrupt_prob) {
+    plan.corrupt = true;
+  }
+  if (f.jitter_max > 0) {
+    plan.extra_latency += static_cast<des::Duration>(
+        fault_rng_.uniform(0.0, static_cast<double>(f.jitter_max)));
+  }
+  if (f.spike_prob > 0 && f.spike_max > 0 &&
+      fault_rng_.uniform() < f.spike_prob) {
+    plan.extra_latency += static_cast<des::Duration>(
+        fault_rng_.uniform(0.0, static_cast<double>(f.spike_max)));
+    ++fault_stats_.spikes;
+    count_fault("net.fault.spikes");
+  }
+  return plan;
+}
+
+void Fabric::corrupt_in_flight(Message& m) {
+  ++fault_stats_.corruptions;
+  count_fault("net.fault.corruptions");
+  if (m.payload != nullptr && !m.payload->empty()) {
+    // Payloads are shared immutable buffers: corrupt a private copy so the
+    // sender's bytes (and any retransmit of them) stay intact.
+    auto copy = std::make_shared<std::vector<std::byte>>(*m.payload);
+    const std::uint64_t bit = fault_rng_.below(copy->size() * 8);
+    (*copy)[bit / 8] ^= static_cast<std::byte>(1u << (bit % 8));
+    m.payload = std::move(copy);
+    return;
+  }
+  // Virtual payload: flip a bit in the one header immediate no protocol
+  // assigns (imm[3]), so the damage is checksum-detectable but never
+  // scrambles routing fields.
+  m.hdr.imm[3] ^= 1ULL << fault_rng_.below(64);
 }
 
 void Fabric::do_send(Nic& src, Message m, Nic::SentHandler on_sent) {
@@ -84,7 +224,7 @@ void Fabric::do_send(Nic& src, Message m, Nic::SentHandler on_sent) {
   Nic& dst = nic(m.dst);
 
   if (m.src == m.dst) {
-    // Loopback: memory copy, no NIC pipe occupancy.
+    // Loopback: memory copy, no NIC pipe occupancy — and never faulted.
     const des::Duration copy =
         des::transfer_time(m.wire_bytes, cfg_.loopback_bandwidth_Bps);
     const des::Time done = now + cfg_.loopback_latency + copy;
@@ -92,19 +232,29 @@ void Fabric::do_send(Nic& src, Message m, Nic::SentHandler on_sent) {
       rec_->histogram("net.wire_transit_ns")
           .add(static_cast<double>(done - now));
     }
-    eng_.schedule_at(done, [this, &dst, msg = std::move(m),
+    eng_.schedule_at(done, [&dst, msg = std::move(m),
                             cb = std::move(on_sent)]() mutable {
       if (cb) cb();
-      ++dst.stats_.msgs_received;
-      dst.stats_.bytes_received += msg.wire_bytes;
-      assert(dst.deliver_ && "no deliver handler installed");
-      dst.deliver_(std::move(msg));
+      dst.dispatch(std::move(msg));
     });
     return;
   }
 
+  const bool faulted = cfg_.faults.any();
   const des::Duration occ = occupancy(m.wire_bytes);
-  const des::Time egress_start = std::max(now, src.egress_free_);
+  des::Time egress_start = std::max(now, src.egress_free_);
+
+  // NIC stall window: the egress pipe is frozen; the message (and, via
+  // egress_free_, everything queued behind it) waits the window out.
+  if (faulted && m.src == cfg_.faults.stall_node &&
+      cfg_.faults.stall_duration > 0 &&
+      egress_start >= cfg_.faults.stall_start &&
+      egress_start < cfg_.faults.stall_start + cfg_.faults.stall_duration) {
+    egress_start = cfg_.faults.stall_start + cfg_.faults.stall_duration;
+    ++fault_stats_.stalled_msgs;
+    count_fault("net.fault.stalled_msgs");
+  }
+
   const des::Time egress_end = egress_start + occ;
   src.egress_free_ = egress_end;
 
@@ -112,8 +262,31 @@ void Fabric::do_send(Nic& src, Message m, Nic::SentHandler on_sent) {
     eng_.schedule_at(egress_end, std::move(on_sent));
   }
 
-  // Last byte reaches the destination after the wire latency.
-  const des::Time available_at = egress_end + latency(m.src, m.dst);
+  FaultPlan plan;
+  if (faulted) plan = plan_faults(m, egress_start);
+  if (plan.drop) {
+    // The message left the NIC (egress charged, on_sent fired) and died on
+    // the wire: no ingress occupancy, no delivery.
+    ++fault_stats_.drops;
+    fault_stats_.dropped_bytes += m.wire_bytes;
+    count_fault("net.fault.drops");
+    return;
+  }
+
+  // Last byte reaches the destination after the wire latency (plus any
+  // injected jitter/spike).
+  const des::Time available_at =
+      egress_end + latency(m.src, m.dst) + plan.extra_latency;
+  if (plan.extra_latency > 0 && rec_ != nullptr) {
+    rec_->histogram("net.fault.delay_ns")
+        .add(static_cast<double>(plan.extra_latency));
+  }
+
+  // Duplicate before corrupting: the injected copy models an independent
+  // retransmission by faulty hardware, not a copy of the damaged frame.
+  std::optional<Message> dup;
+  if (plan.dup) dup = m;
+  if (plan.corrupt) corrupt_in_flight(m);
 
   // Receiver ingress pipe: the port can overlap with the wire (cut-through)
   // but serializes across concurrent senders.
@@ -140,12 +313,22 @@ void Fabric::do_send(Nic& src, Message m, Nic::SentHandler on_sent) {
     sink->span(track, label, ingress_start, ingress_end - ingress_start);
   }
 
-  eng_.schedule_at(ingress_end, [this, &dst, msg = std::move(m)]() mutable {
-    ++dst.stats_.msgs_received;
-    dst.stats_.bytes_received += msg.wire_bytes;
-    assert(dst.deliver_ && "no deliver handler installed");
-    dst.deliver_(std::move(msg));
+  eng_.schedule_at(ingress_end, [&dst, msg = std::move(m)]() mutable {
+    dst.dispatch(std::move(msg));
   });
+
+  if (dup.has_value()) {
+    // The duplicate trails the original through the same ingress pipe, so
+    // FIFO order per link is preserved: ... original, duplicate, ...
+    const des::Time dup_end = ingress_end + occ;
+    dst.ingress_free_ = dup_end;
+    ++fault_stats_.dups;
+    fault_stats_.dup_bytes += dup->wire_bytes;
+    count_fault("net.fault.dups");
+    eng_.schedule_at(dup_end, [&dst, msg = std::move(*dup)]() mutable {
+      dst.dispatch(std::move(msg));
+    });
+  }
 }
 
 }  // namespace net

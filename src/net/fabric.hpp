@@ -40,7 +40,37 @@ struct NicStats {
   std::uint64_t bytes_received = 0;
 };
 
+/// Fabric-wide fault-injection counters (all zero when faults are off).
+struct FaultStats {
+  std::uint64_t drops = 0;           ///< includes brownout drops
+  std::uint64_t dropped_bytes = 0;
+  std::uint64_t dups = 0;
+  std::uint64_t dup_bytes = 0;
+  std::uint64_t corruptions = 0;
+  std::uint64_t spikes = 0;
+  std::uint64_t stalled_msgs = 0;
+  std::uint64_t brownout_drops = 0;
+  std::uint64_t undeliverable = 0;  ///< arrivals with no handler installed
+};
+
 class Fabric;
+class Nic;
+
+/// Bump-in-the-wire interposer between the upper communication libraries
+/// and the raw NIC pipes.  ce::ReliableChannel implements this to add
+/// sequence numbers / checksums / retransmission below mmpi and mlci
+/// without either library knowing.
+class LinkShim {
+ public:
+  virtual ~LinkShim() = default;
+  /// Outgoing message from the upper layer.  The shim must eventually call
+  /// Nic::raw_send (possibly several times, for retransmits).
+  virtual void shim_send(Message&& m, std::function<void()> on_sent) = 0;
+  /// Incoming message off the wire.  Return true to consume it (control
+  /// traffic, duplicates, corrupt frames); false passes it to the upper
+  /// layer's deliver handler.
+  virtual bool shim_deliver(Message& m) = 0;
+};
 
 /// One node's network interface.  Upper layers send through it and register
 /// a delivery handler to receive.
@@ -53,12 +83,22 @@ class Nic {
   using SentHandler = std::function<void()>;
 
   /// Starts sending `m` (m.src must equal this NIC's node).  `on_sent` may
-  /// be null.  Delivery at the destination is asynchronous.
+  /// be null.  Delivery at the destination is asynchronous.  Routed
+  /// through the installed LinkShim, if any.
   void send(Message m, SentHandler on_sent = nullptr);
+
+  /// Sends bypassing the shim — the shim's own path to the wire (also
+  /// what send() degenerates to with no shim installed).
+  void raw_send(Message m, SentHandler on_sent = nullptr);
 
   /// Registers the function invoked on message arrival.  Exactly one
   /// handler per NIC (the owning communication library).
   void set_deliver_handler(DeliverHandler h) { deliver_ = std::move(h); }
+
+  /// Installs (null: removes) the link-layer interposer.  The shim is not
+  /// owned and must outlive all traffic through it.
+  void set_shim(LinkShim* shim) { shim_ = shim; }
+  LinkShim* shim() const { return shim_; }
 
   NodeId node() const { return node_; }
   const NicStats& stats() const { return stats_; }
@@ -70,9 +110,13 @@ class Nic {
   friend class Fabric;
   Nic(Fabric& fabric, NodeId node) : fabric_(fabric), node_(node) {}
 
+  /// Arrival entry point: shim first, then the deliver handler.
+  void dispatch(Message&& m);
+
   Fabric& fabric_;
   NodeId node_;
   DeliverHandler deliver_;
+  LinkShim* shim_ = nullptr;
   NicStats stats_;
   des::Time egress_free_ = 0;
   des::Time ingress_free_ = 0;
@@ -116,6 +160,9 @@ class Fabric {
   std::uint64_t total_messages() const { return total_msgs_; }
   std::uint64_t total_bytes() const { return total_bytes_; }
 
+  /// Fault-injection counters (all zero when cfg.faults is inactive).
+  const FaultStats& fault_stats() const { return fault_stats_; }
+
   /// Attaches a metrics recorder ("net.wire_transit_ns",
   /// "net.egress_wait_ns").  Null detaches; the fabric does not own it.
   void set_recorder(obs::Recorder* rec) { rec_ = rec; }
@@ -125,6 +172,19 @@ class Fabric {
   friend class Nic;
   void do_send(Nic& src, Message m, Nic::SentHandler on_sent);
 
+  /// Fault-injection decisions for one cross-node message, drawn in a
+  /// fixed order from fault_rng_ (determinism comes from the engine's
+  /// total event order).
+  struct FaultPlan {
+    bool drop = false;
+    bool dup = false;
+    bool corrupt = false;
+    des::Duration extra_latency = 0;  ///< jitter + spike
+  };
+  FaultPlan plan_faults(const Message& m, des::Time egress_start);
+  void corrupt_in_flight(Message& m);
+  void count_fault(const char* name);
+
   des::Engine& eng_;
   FabricConfig cfg_;
   std::vector<std::unique_ptr<Nic>> nics_;
@@ -132,6 +192,8 @@ class Fabric {
   obs::Recorder* rec_ = nullptr;
   std::uint64_t total_msgs_ = 0;
   std::uint64_t total_bytes_ = 0;
+  FaultStats fault_stats_;
+  des::Rng fault_rng_;
 };
 
 }  // namespace net

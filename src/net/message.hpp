@@ -35,6 +35,12 @@ struct WireHeader {
   std::uint64_t seq = 0;
   std::uint64_t size = 0;    ///< logical payload size in bytes
   std::uint64_t imm[4] = {0, 0, 0, 0};  ///< protocol immediates
+  /// Reliability-sublayer fields (ce/reliable): a per-(src,dst) sequence
+  /// number (0 = message not tracked by the sublayer) and a checksum over
+  /// header + payload.  The fabric transports them like any header bits.
+  std::uint64_t rel_seq = 0;
+  std::uint32_t rel_crc = 0;
+  std::uint32_t rel_pad = 0;
 };
 
 /// Protocol ids for WireHeader::proto.
@@ -42,6 +48,7 @@ enum : std::uint16_t {
   kProtoRaw = 0,
   kProtoMpi = 1,
   kProtoLci = 2,
+  kProtoRel = 3,  ///< reliability-sublayer control traffic (ACK / NACK)
 };
 
 struct Message {

@@ -1,0 +1,105 @@
+// Fault schedules under the full AMT runtime: delay faults (jitter and
+// latency spikes) must never change computed results, and loss faults
+// (drop / duplicate / corrupt) must be fully absorbed by the reliability
+// sublayer so task graphs still complete with sequential-reference
+// results on both backends.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "amt/runtime.hpp"
+#include "ce/world.hpp"
+#include "des/engine.hpp"
+#include "net/fabric.hpp"
+#include "test_graphs.hpp"
+
+namespace {
+
+using amt::Runtime;
+using amt_test::WavefrontGraph;
+using ce::BackendKind;
+
+struct FaultWorld {
+  des::Engine eng;
+  net::Fabric fab;
+  ce::CommWorld comm;
+  FaultWorld(int nodes, BackendKind kind, net::FabricConfig fab_cfg,
+             ce::CeConfig ce_cfg = {})
+      : fab(eng, nodes, fab_cfg), comm(fab, kind, ce_cfg) {}
+};
+
+class FaultBackends : public ::testing::TestWithParam<BackendKind> {};
+
+TEST_P(FaultBackends, DelayJitterNeverChangesResults) {
+  auto run = [&](net::FabricConfig fc) {
+    FaultWorld w(4, GetParam(), fc);
+    WavefrontGraph graph(8, 4);
+    Runtime rt(w.eng, w.fab, w.comm, graph);
+    const auto makespan = rt.run();
+    EXPECT_EQ(rt.total_tasks_executed(), 64u);
+    EXPECT_EQ(graph.corner(), graph.expected_corner());
+    return makespan;
+  };
+  const auto clean = run(net::FabricConfig{});
+
+  net::FabricConfig jittery;
+  jittery.faults.jitter_max = 3 * des::kMicrosecond;
+  jittery.faults.spike_prob = 0.05;
+  jittery.faults.spike_max = 50 * des::kMicrosecond;
+  const auto delayed = run(jittery);
+  // Same answer, different schedule: delays stretch the critical path.
+  EXPECT_GT(delayed, clean);
+}
+
+TEST_P(FaultBackends, LossFaultsAbsorbedByReliabilitySublayer) {
+  net::FabricConfig fc;
+  fc.faults.drop_prob = 0.02;
+  fc.faults.dup_prob = 0.02;
+  fc.faults.corrupt_prob = 0.02;
+  fc.faults.jitter_max = 1 * des::kMicrosecond;
+  ce::CeConfig cc;
+  cc.reliable.enabled = true;
+  FaultWorld w(4, GetParam(), fc, cc);
+  WavefrontGraph graph(10, 4);
+  Runtime rt(w.eng, w.fab, w.comm, graph);
+  rt.run();
+  EXPECT_EQ(rt.total_tasks_executed(), 100u);
+  EXPECT_EQ(graph.corner(), graph.expected_corner());
+  const auto& fs = w.fab.fault_stats();
+  EXPECT_GT(fs.drops + fs.corruptions + fs.dups, 0u)
+      << "the schedule must actually have exercised faults";
+  EXPECT_GT(w.comm.reliability()->stats().retransmits, 0u);
+  EXPECT_EQ(w.comm.reliability()->stats().timeouts, 0u);
+  EXPECT_EQ(w.comm.reliability()->unacked(), 0u);
+}
+
+TEST_P(FaultBackends, ChaosRunIsDeterministicPerSeed) {
+  auto run = [&]() {
+    net::FabricConfig fc;
+    fc.faults.seed = 0xC0FFEE;
+    fc.faults.drop_prob = 0.02;
+    fc.faults.dup_prob = 0.02;
+    fc.faults.corrupt_prob = 0.02;
+    ce::CeConfig cc;
+    cc.reliable.enabled = true;
+    FaultWorld w(4, GetParam(), fc, cc);
+    WavefrontGraph graph(8, 4);
+    Runtime rt(w.eng, w.fab, w.comm, graph);
+    const auto makespan = rt.run();
+    const auto& fs = w.fab.fault_stats();
+    return std::make_tuple(makespan, graph.corner(),
+                           w.comm.reliability()->stats().retransmits,
+                           fs.drops, fs.dups, fs.corruptions);
+  };
+  EXPECT_EQ(run(), run()) << "same fault seed, same schedule and stats";
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, FaultBackends,
+                         ::testing::Values(BackendKind::Mpi,
+                                           BackendKind::Lci),
+                         [](const auto& pinfo) {
+                           return pinfo.param == BackendKind::Mpi ? "Mpi"
+                                                                  : "Lci";
+                         });
+
+}  // namespace

@@ -130,6 +130,93 @@ TEST(Reps, NonPositiveTotalClampsToOne) {
   EXPECT_LT(r.warmup, r.total);
 }
 
+// -- AMTLCE_FAULT_* / AMTLCE_RELIABLE env overlays ------------------------
+
+struct FaultEnvGuard {
+  ~FaultEnvGuard() {
+    for (const char* name :
+         {"AMTLCE_FAULT_SEED", "AMTLCE_FAULT_DROP", "AMTLCE_FAULT_DUP",
+          "AMTLCE_FAULT_CORRUPT", "AMTLCE_FAULT_SPIKE_PROB",
+          "AMTLCE_FAULT_SPIKE_US", "AMTLCE_FAULT_JITTER_US",
+          "AMTLCE_FAULT_BROWNOUT", "AMTLCE_FAULT_STALL", "AMTLCE_RELIABLE"}) {
+      ::unsetenv(name);
+    }
+  }
+};
+
+TEST(FaultEnv, NoVariablesMeansNoOverrides) {
+  FaultEnvGuard guard;
+  net::FabricConfig cfg;
+  EXPECT_FALSE(bench::apply_fault_env(cfg));
+  EXPECT_FALSE(cfg.faults.any());
+  EXPECT_FALSE(bench::reliable_from_env());
+}
+
+TEST(FaultEnv, ParsesScalarKnobsAndWindows) {
+  FaultEnvGuard guard;
+  ::setenv("AMTLCE_FAULT_SEED", "0xBEEF", 1);
+  ::setenv("AMTLCE_FAULT_DROP", "0.01", 1);
+  ::setenv("AMTLCE_FAULT_DUP", "0.02", 1);
+  ::setenv("AMTLCE_FAULT_CORRUPT", "0.03", 1);
+  ::setenv("AMTLCE_FAULT_SPIKE_PROB", "0.1", 1);
+  ::setenv("AMTLCE_FAULT_SPIKE_US", "50", 1);
+  ::setenv("AMTLCE_FAULT_JITTER_US", "2.5", 1);
+  ::setenv("AMTLCE_FAULT_BROWNOUT", "3:10:1.5", 1);
+  ::setenv("AMTLCE_FAULT_STALL", "1:20:0.5", 1);
+  net::FabricConfig cfg;
+  EXPECT_TRUE(bench::apply_fault_env(cfg));
+  const net::FaultConfig& f = cfg.faults;
+  EXPECT_EQ(f.seed, 0xBEEFu);
+  EXPECT_DOUBLE_EQ(f.drop_prob, 0.01);
+  EXPECT_DOUBLE_EQ(f.dup_prob, 0.02);
+  EXPECT_DOUBLE_EQ(f.corrupt_prob, 0.03);
+  EXPECT_DOUBLE_EQ(f.spike_prob, 0.1);
+  EXPECT_EQ(f.spike_max, 50 * des::kMicrosecond);
+  EXPECT_EQ(f.jitter_max, des::Duration{2500});
+  EXPECT_EQ(f.brownout_node, 3);
+  EXPECT_EQ(f.brownout_start, 10 * des::kMillisecond);
+  EXPECT_EQ(f.brownout_duration,
+            static_cast<des::Duration>(1.5 * des::kMillisecond));
+  EXPECT_EQ(f.stall_node, 1);
+  EXPECT_EQ(f.stall_start, 20 * des::kMillisecond);
+  EXPECT_TRUE(f.any());
+}
+
+TEST(FaultEnv, RejectsOutOfRangeAndMalformedValues) {
+  FaultEnvGuard guard;
+  ::setenv("AMTLCE_FAULT_DROP", "1.5", 1);  // probability > 1
+  net::FabricConfig cfg;
+  EXPECT_THROW(bench::apply_fault_env(cfg), std::invalid_argument);
+  ::unsetenv("AMTLCE_FAULT_DROP");
+  ::setenv("AMTLCE_FAULT_BROWNOUT", "not-a-window", 1);
+  net::FabricConfig cfg2;
+  EXPECT_THROW(bench::apply_fault_env(cfg2), std::invalid_argument);
+}
+
+TEST(FaultEnv, ReliableSwitchUnderstandsOffSpellings) {
+  FaultEnvGuard guard;
+  for (const char* off : {"0", "off", "false"}) {
+    ::setenv("AMTLCE_RELIABLE", off, 1);
+    EXPECT_FALSE(bench::reliable_from_env()) << off;
+  }
+  ::setenv("AMTLCE_RELIABLE", "1", 1);
+  EXPECT_TRUE(bench::reliable_from_env());
+}
+
+TEST(FaultEnv, PingPongUnderEnvChaosStillMovesData) {
+  FaultEnvGuard guard;
+  ::setenv("AMTLCE_FAULT_DROP", "0.01", 1);
+  ::setenv("AMTLCE_FAULT_CORRUPT", "0.01", 1);
+  ::setenv("AMTLCE_RELIABLE", "1", 1);
+  bench::PingPongOptions opts;
+  opts.fragment_bytes = 64 << 10;
+  opts.total_bytes = 1 << 20;
+  opts.iterations = 3;
+  const auto r = bench::run_pingpong(ce::BackendKind::Lci, opts);
+  EXPECT_GT(r.gbit_per_s, 0.0);
+  EXPECT_TRUE(std::isfinite(r.gbit_per_s));
+}
+
 // -- Table CSV writer (padding + escaping fixes) --------------------------
 
 std::vector<std::string> read_lines(const std::string& path) {

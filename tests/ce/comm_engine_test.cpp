@@ -91,7 +91,8 @@ TEST_P(CeBackends, ActiveMessageDelivery) {
   w.engine(0).tag_reg(kActivate, [](auto&&...) {}, nullptr, 256);
 
   const std::string msg = "activate:task(3,4)";
-  EXPECT_EQ(w.engine(0).send_am(kActivate, 1, msg.data(), msg.size()), 0);
+  EXPECT_EQ(w.engine(0).send_am(kActivate, 1, msg.data(), msg.size()),
+            ce::Status::Ok);
   w.run();
   EXPECT_EQ(got, msg);
   EXPECT_EQ(got_src, 0);

@@ -1,0 +1,117 @@
+// Chaos soak: a real (numeric) TLR Cholesky factorization over a fabric
+// injecting drops, corruption, duplicates, jitter, a timed link brownout,
+// and a NIC stall — with the end-to-end reliability sublayer enabled.  The
+// factorization must still verify, the fault schedule must be
+// bit-reproducible per seed, and the sublayer must have actually worked
+// (retransmissions observed, no delivery timeouts).
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "ce/world.hpp"
+#include "des/time.hpp"
+#include "hicma/driver.hpp"
+#include "net/config.hpp"
+
+namespace {
+
+using ce::BackendKind;
+
+hicma::ExperimentConfig base_config(BackendKind kind) {
+  hicma::ExperimentConfig cfg;
+  cfg.nodes = 4;
+  cfg.backend = kind;
+  cfg.tlr.mode = hicma::TlrOptions::Mode::Real;
+  cfg.tlr.n = 192;
+  cfg.tlr.nb = 32;
+  cfg.tlr.accuracy = 1e-9;
+  cfg.tlr.maxrank = 32;
+  cfg.tlr.problem.length_scale = 0.2;
+  cfg.tlr.problem.noise = 0.05;
+  cfg.workers_override = 4;
+  return cfg;
+}
+
+std::uint64_t rel_counter(const hicma::ExperimentResult& res,
+                          std::string_view name) {
+  const obs::Counter* c = res.metrics.find_counter(name);
+  return c ? c->value() : 0;
+}
+
+class ChaosBackends : public ::testing::TestWithParam<BackendKind> {};
+
+TEST_P(ChaosBackends, TlrCholeskySurvivesChaosAndIsDeterministic) {
+  // Calibrate the fault windows against the fault-free makespan so the
+  // brownout and stall land mid-factorization regardless of backend.
+  const auto clean = hicma::run_tlr_cholesky(base_config(GetParam()));
+  ASSERT_LT(clean.residual, 1e-7);
+  const auto makespan_ns =
+      static_cast<des::Duration>(clean.tts_s * 1e9);
+  ASSERT_GT(makespan_ns, 0);
+
+  auto chaos_cfg = [&]() {
+    hicma::ExperimentConfig cfg = base_config(GetParam());
+    cfg.ce.reliable.enabled = true;
+    net::FaultConfig& f = cfg.fabric.faults;
+    f.seed = 0xC0DE5;
+    f.drop_prob = 0.01;
+    f.dup_prob = 0.01;
+    f.corrupt_prob = 0.01;
+    f.jitter_max = 1 * des::kMicrosecond;
+    f.spike_prob = 0.01;
+    f.spike_max = 20 * des::kMicrosecond;
+    // One link browns out for a stretch the retry budget can ride out.
+    f.brownout_node = 2;
+    f.brownout_start = makespan_ns / 4;
+    f.brownout_duration =
+        std::min<des::Duration>(makespan_ns / 20, 2 * des::kMillisecond);
+    // And one NIC freezes its egress pipe for a while.
+    f.stall_node = 1;
+    f.stall_start = makespan_ns / 2;
+    f.stall_duration =
+        std::min<des::Duration>(makespan_ns / 20, 1 * des::kMillisecond);
+    return cfg;
+  };
+
+  const auto a = hicma::run_tlr_cholesky(chaos_cfg());
+  // Numerics hold despite ≥1% loss, corruption, a brownout, and a stall.
+  EXPECT_LT(a.residual, 1e-7);
+  EXPECT_EQ(a.tasks, clean.tasks);
+  // The fault schedule really fired and the sublayer really recovered.
+  EXPECT_GT(rel_counter(a, "net.fault.drops"), 0u);
+  EXPECT_GT(rel_counter(a, "net.fault.corruptions"), 0u);
+  EXPECT_GT(rel_counter(a, "ce.rel.retransmits"), 0u);
+  EXPECT_EQ(rel_counter(a, "ce.rel.timeouts"), 0u);
+  // Chaos costs time, never answers.
+  EXPECT_GT(a.tts_s, clean.tts_s);
+
+  const auto b = hicma::run_tlr_cholesky(chaos_cfg());
+  // Bit-identical reproduction: same seed, same everything.
+  EXPECT_EQ(a.residual, b.residual);
+  EXPECT_EQ(a.tts_s, b.tts_s);
+  EXPECT_EQ(a.fabric_messages, b.fabric_messages);
+  EXPECT_EQ(a.fabric_bytes, b.fabric_bytes);
+  EXPECT_EQ(rel_counter(a, "ce.rel.retransmits"),
+            rel_counter(b, "ce.rel.retransmits"));
+  EXPECT_EQ(rel_counter(a, "net.fault.drops"),
+            rel_counter(b, "net.fault.drops"));
+
+  // A different seed reshuffles the schedule (sanity that the comparison
+  // above is not vacuous).
+  auto other = chaos_cfg();
+  other.fabric.faults.seed = 0xC0DE6;
+  const auto c = hicma::run_tlr_cholesky(other);
+  EXPECT_LT(c.residual, 1e-7);
+  EXPECT_NE(std::make_tuple(a.tts_s, rel_counter(a, "net.fault.drops")),
+            std::make_tuple(c.tts_s, rel_counter(c, "net.fault.drops")));
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, ChaosBackends,
+                         ::testing::Values(BackendKind::Mpi,
+                                           BackendKind::Lci),
+                         [](const auto& pinfo) {
+                           return pinfo.param == BackendKind::Mpi ? "Mpi"
+                                                                  : "Lci";
+                         });
+
+}  // namespace

@@ -66,6 +66,41 @@ TEST(ClockSync, IdentityClockIsNoop) {
   EXPECT_EQ(clock.to_global(2, 12345), 12345);
 }
 
+TEST(ClockSync, RetriesLostProbesAndStillRecoversSkew) {
+  Engine eng;
+  FabricConfig cfg;
+  cfg.clock_skew_max = 20 * des::kMillisecond;
+  cfg.faults.drop_prob = 0.3;  // probes and echoes get lost regularly
+  Fabric fab(eng, 6, cfg);
+  ClockSync::Options opts;
+  opts.rounds = 7;
+  const auto res = ClockSync::synchronize(fab, opts);
+  EXPECT_TRUE(res.synced);
+  EXPECT_GT(res.probes_lost, 0u) << "30% drop must cost some probes";
+  for (net::NodeId n = 0; n < 6; ++n) {
+    const auto err =
+        std::abs(res.offsets[static_cast<std::size_t>(n)] -
+                 fab.true_skew(n) + fab.true_skew(0));
+    EXPECT_LE(err, 1 * des::kMicrosecond) << "node " << n;
+  }
+}
+
+TEST(ClockSync, ReportsFailureWhenANodeIsUnreachable) {
+  Engine eng;
+  FabricConfig cfg;
+  cfg.faults.brownout_node = 2;
+  cfg.faults.brownout_start = 0;
+  cfg.faults.brownout_duration = 10 * des::kSecond;  // the whole exchange
+  Fabric fab(eng, 4, cfg);
+  ClockSync::Options opts;
+  opts.rounds = 2;
+  opts.max_attempts = 3;
+  const auto res = ClockSync::synchronize(fab, opts);
+  EXPECT_FALSE(res.synced);
+  EXPECT_EQ(res.offsets[2], 0) << "unreachable node keeps the 0 fallback";
+  EXPECT_GE(res.probes_lost, 6u);  // rounds * max_attempts for node 2
+}
+
 TEST(ClockSync, LeavesNicsQuiescent) {
   Engine eng;
   Fabric fab(eng, 3);
