@@ -21,7 +21,25 @@ hicma::ExperimentResult run(int nb, ce::BackendKind kind, bool mt) {
   cfg.tlr.mode = hicma::TlrOptions::Mode::Model;
   cfg.tlr.n = 360000;
   cfg.tlr.nb = nb;
-  return hicma::run_tlr_cholesky(cfg);
+  auto res = hicma::run_tlr_cholesky(cfg);
+  bench::metrics_accumulator().merge(res.metrics);
+  return res;
+}
+
+/// One latency-stage row: the seven telescoping e2e stages, their sum,
+/// and the e2e mean the sum must reproduce (all ms).
+std::vector<std::string> stage_row(int nb, const char* config,
+                                   const hicma::ExperimentResult& r) {
+  std::vector<std::string> row = {std::to_string(nb), config};
+  for (int s = 0; s < amt::kE2eStages; ++s) {
+    row.push_back(bench::fmt(
+        r.runtime_stats.stages.h[static_cast<std::size_t>(s)].mean() / 1e6,
+        3));
+  }
+  row.push_back(
+      bench::fmt(r.runtime_stats.stages.e2e_stage_mean_sum_ns() / 1e6, 3));
+  row.push_back(bench::fmt(r.latency.e2e_mean_ns() / 1e6, 3));
+  return row;
 }
 
 }  // namespace
@@ -43,6 +61,14 @@ int main() {
       {"tile", "LCI p50", "LCI p99", "Open MPI p50", "Open MPI p99",
        "LCI (MT) p50", "LCI (MT) p99", "Open MPI (MT) p50",
        "Open MPI (MT) p99"});
+  std::vector<std::string> stage_cols = {"tile", "config"};
+  for (int s = 0; s < amt::kE2eStages; ++s) {
+    stage_cols.push_back(amt::kStageNames[static_cast<std::size_t>(s)]);
+  }
+  stage_cols.push_back("sum");
+  stage_cols.push_back("e2e");
+  bench::Table stages(
+      "Fig 4b aux: e2e latency-stage means, 16 nodes (ms)", stage_cols);
 
   double lci_1200 = 0, lci_mt_1200 = 0, lci_2400 = 0, lci_mt_2400 = 0;
   for (const int nb : tiles) {
@@ -72,6 +98,10 @@ int main() {
                  bench::fmt(lci_mt.latency.e2e_p99_ns() / 1e6),
                  bench::fmt(mpi_mt.latency.e2e_p50_ns() / 1e6),
                  bench::fmt(mpi_mt.latency.e2e_p99_ns() / 1e6)});
+    stages.add_row(stage_row(nb, "LCI", lci));
+    stages.add_row(stage_row(nb, "Open MPI", mpi));
+    stages.add_row(stage_row(nb, "LCI (MT)", lci_mt));
+    stages.add_row(stage_row(nb, "Open MPI (MT)", mpi_mt));
     if (nb == 1200) {
       lci_1200 = lci.tts_s;
       lci_mt_1200 = lci_mt.tts_s;
@@ -81,6 +111,10 @@ int main() {
       lci_mt_2400 = lci_mt.tts_s;
     }
     std::printf("tile %d done\n", nb);
+    std::printf("  LCI      %s\n",
+                bench::critical_path_line(lci.runtime_stats.crit).c_str());
+    std::printf("  LCI (MT) %s\n",
+                bench::critical_path_line(lci_mt.runtime_stats.crit).c_str());
     std::fflush(stdout);
   }
 
@@ -96,5 +130,6 @@ int main() {
         "tile 2400: %.3f s -> %.3f s (%.1f%%; paper: 3%% to 10.516 s)\n",
         lci_2400, lci_mt_2400, 100.0 * (1.0 - lci_mt_2400 / lci_2400));
   }
+  bench::export_metrics_env();
   return 0;
 }

@@ -28,7 +28,9 @@ hicma::ExperimentResult run(int nodes, int nb, ce::BackendKind kind) {
   cfg.tlr.mode = hicma::TlrOptions::Mode::Model;
   cfg.tlr.n = 360000;
   cfg.tlr.nb = nb;
-  return hicma::run_tlr_cholesky(cfg);
+  auto res = hicma::run_tlr_cholesky(cfg);
+  bench::metrics_accumulator().merge(res.metrics);
+  return res;
 }
 
 }  // namespace
@@ -88,6 +90,15 @@ int main() {
                  bench::fmt(mpi_at_lci_tile.latency.e2e_p99_ns() / 1e6)});
     t2.add_row({std::to_string(nodes), std::to_string(best_mpi.tile),
                 std::to_string(best_lci.tile)});
+    std::printf(
+        "nodes %d, LCI best tile %d: %s\n", nodes, best_lci.tile,
+        bench::critical_path_line(lci_best_run.runtime_stats.crit).c_str());
+    std::printf(
+        "nodes %d, MPI @ LCI tile:   %s\n", nodes,
+        bench::critical_path_line(mpi_at_lci_tile.runtime_stats.crit)
+            .c_str());
+    std::fflush(stdout);
   }
+  bench::export_metrics_env();
   return 0;
 }

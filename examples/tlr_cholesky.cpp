@@ -7,6 +7,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "bench_util/harness.hpp"
 #include "hicma/driver.hpp"
 
 int main(int argc, char** argv) {
@@ -42,6 +43,16 @@ int main(int argc, char** argv) {
   std::printf("  simulated TTS       : %.6f s\n", res.tts_s);
   std::printf("  comm latency (mean) : %.1f us end-to-end\n",
               res.latency.e2e_mean_ns() / 1e3);
+  std::printf("  latency stages (us) :");
+  for (int s = 0; s < amt::kE2eStages; ++s) {
+    std::printf(" %s %.1f", amt::kStageNames[static_cast<std::size_t>(s)],
+                res.runtime_stats.stages.h[static_cast<std::size_t>(s)]
+                        .mean() / 1e3);
+  }
+  std::printf("\n  %s\n",
+              bench::critical_path_line(res.runtime_stats.crit).c_str());
+  bench::metrics_accumulator().merge(res.metrics);
+  bench::export_metrics_env();
   std::printf("  residual ||LL^T-A||/||A|| = %.3e  -> %s\n", res.residual,
               res.residual < 1e-6 ? "PASS" : "FAIL");
   return res.residual < 1e-6 ? 0 : 1;

@@ -1,10 +1,13 @@
 // Runtime configuration and instrumentation counters.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <string>
 
 #include "des/time.hpp"
 #include "obs/stats.hpp"
+#include "amt/task_key.hpp"
 
 namespace amt {
 
@@ -98,6 +101,99 @@ struct LatencyStats {
   double e2e_p99_ns() const { return e2e.p99(); }
 };
 
+/// Stages of a remote flow's delivery path, in causal order.  The first
+/// kE2eStages telescope: consecutive timestamps along one delivery chain,
+/// so their per-flow values sum *exactly* to the `LatencyStats::e2e`
+/// sample for that flow (and, since every arrival contributes one sample
+/// to every stage, the stage means sum to the e2e mean).  `Release` and
+/// `TaskStart` happen after the latency endpoint and are reported
+/// separately as runtime-overhead stages.
+enum class Stage : int {
+  Upstream = 0,     ///< multicast-root publish -> this hop queues the record
+  Queue,            ///< queued -> packed into an ACTIVATE AM (aggregation
+                    ///< wait; the stage mt_activate removes)
+  ActivateWire,     ///< ACTIVATE injected -> remote handler reaches record
+  ActivateHandle,   ///< record unpack + successor iteration CPU time
+  FetchWait,        ///< activated -> GET DATA sent (inflight-cap queueing)
+  GetdataWire,      ///< GET DATA sent -> holder issues the put
+  Transfer,         ///< put issued -> data-arrival callback on requester
+  Release,          ///< dependency-release processing (post-arrival)
+  TaskStart,        ///< last input released -> task body starts
+  kCount
+};
+
+inline constexpr int kNumStages = static_cast<int>(Stage::kCount);
+inline constexpr int kE2eStages = static_cast<int>(Stage::Transfer) + 1;
+
+inline constexpr std::array<const char*, kNumStages> kStageNames = {
+    "upstream",      "queue",        "activate_wire", "activate_handle",
+    "fetch_wait",    "getdata_wire", "transfer",      "release",
+    "task_start"};
+
+/// One histogram per lifecycle stage (samples in ns, like LatencyStats).
+struct StageLats {
+  std::array<obs::Histogram, kNumStages> h;
+
+  obs::Histogram& operator[](Stage s) {
+    return h[static_cast<std::size_t>(s)];
+  }
+  const obs::Histogram& operator[](Stage s) const {
+    return h[static_cast<std::size_t>(s)];
+  }
+  void merge(const StageLats& o) {
+    for (int s = 0; s < kNumStages; ++s) {
+      h[static_cast<std::size_t>(s)].merge(o.h[static_cast<std::size_t>(s)]);
+    }
+  }
+  /// Sum of the e2e-stage means; equals the LatencyStats e2e mean when all
+  /// stage histograms carry the same arrivals.
+  double e2e_stage_mean_sum_ns() const {
+    double sum = 0;
+    for (int s = 0; s < kE2eStages; ++s) {
+      sum += h[static_cast<std::size_t>(s)].mean();
+    }
+    return sum;
+  }
+};
+
+/// Running weighted-path sums along one dependency chain.  Shipped inside
+/// ActivationRecords so the longest path is computed streaming, O(1) per
+/// task, instead of materializing the task DAG: the invariant is
+/// total() == the chain head's finish time on the global clock, so the
+/// chain ending at the globally last-finishing task IS the critical path.
+struct PathSums {
+  des::Duration compute = 0;   ///< task-body time on the path
+  des::Duration comm = 0;      ///< remote-delivery gaps on the path
+  des::Duration overhead = 0;  ///< runtime time (scheduling, local waits)
+  std::uint32_t tasks = 0;     ///< chain length, for reporting
+  std::uint32_t pad_ = 0;      ///< keep wire bytes deterministic
+
+  des::Duration total() const { return compute + comm + overhead; }
+};
+static_assert(sizeof(PathSums) == 32, "PathSums must pack without padding");
+
+/// The longest weighted path observed so far: the chain ending at the
+/// latest-finishing task.  Strictly-greater updates keep the first
+/// maximum, so merging per-node results in rank order is deterministic.
+struct CriticalPath {
+  bool seen = false;
+  des::Time finish_g = 0;  ///< global-clock finish time of the last task
+  PathSums sums;
+  TaskKey last;            ///< the chain's final task
+
+  void observe(des::Time f, const PathSums& s, const TaskKey& k) {
+    if (!seen || f > finish_g) {
+      seen = true;
+      finish_g = f;
+      sums = s;
+      last = k;
+    }
+  }
+  void merge(const CriticalPath& o) {
+    if (o.seen) observe(o.finish_g, o.sums, o.last);
+  }
+};
+
 /// Per-node runtime counters.
 struct NodeStats {
   std::uint64_t tasks_executed = 0;
@@ -112,6 +208,22 @@ struct NodeStats {
   /// DATA sent (fetch_wait), and GET DATA sent -> data arrival (transfer).
   obs::Histogram fetch_wait;
   obs::Histogram transfer;
+  /// Full lifecycle-stage decomposition (tentpole of the tracing layer).
+  StageLats stages;
+  /// Longest weighted dependency chain ending on this node.
+  CriticalPath crit;
 };
+
+/// Copies the latency and lifecycle-stage histograms of `s` into `rec`
+/// under "amt.lat.*", so drivers and benches can export them alongside
+/// the CE/fabric metrics (AMTLCE_METRICS JSON dump).
+inline void export_latency_metrics(const NodeStats& s, obs::Recorder& rec) {
+  rec.histogram("amt.lat.hop_ns").merge(s.latency.hop);
+  rec.histogram("amt.lat.e2e_ns").merge(s.latency.e2e);
+  for (int i = 0; i < kNumStages; ++i) {
+    rec.histogram(std::string("amt.lat.stage.") + kStageNames[i] + "_ns")
+        .merge(s.stages.h[static_cast<std::size_t>(i)]);
+  }
+}
 
 }  // namespace amt

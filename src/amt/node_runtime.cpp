@@ -65,12 +65,17 @@ void NodeRuntime::start() {
   assert(reg_st == ce::Status::Ok);
   (void)reg_st;
 
-  // Source tasks.
+  // Source tasks.  A source's chain starts at global time zero; the gap
+  // until it is scheduled counts as runtime overhead, keeping the
+  // critical-path invariant (sums total == finish time) from the start.
   std::vector<TaskKey> initial;
   def_.initial_tasks(rank_, initial);
   for (const TaskKey& t : initial) {
     assert(def_.num_inputs(t) == 0 && "initial task with inputs");
-    task_ready(t, {});
+    const des::Time rel_g = charged_global_now();
+    PathSums pred;
+    pred.overhead = rel_g;
+    task_ready(t, {}, pred, rel_g);
   }
 }
 
@@ -80,18 +85,28 @@ des::Duration NodeRuntime::worker_busy_time() const {
   return total;
 }
 
+des::Time NodeRuntime::threads_free_at() const {
+  des::Time t = 0;
+  for (const auto& w : workers_) t = std::max(t, w->free_at());
+  t = std::max(t, comm_thread_->free_at());
+  return t;
+}
+
 void NodeRuntime::wake_comm() { comm_loop_->wake(); }
 
 // ---------------------------------------------------------------------------
 // Scheduling
 
 void NodeRuntime::task_ready(const TaskKey& key,
-                             std::vector<DataCopyPtr> inputs) {
+                             std::vector<DataCopyPtr> inputs,
+                             const PathSums& pred, des::Time release_g) {
   ReadyTask rt;
   rt.priority = def_.priority(key);
   rt.seq = ready_seq_++;
   rt.key = key;
   rt.inputs = std::move(inputs);
+  rt.pred_sums = pred;
+  rt.release_g = release_g;
   ready_.push(std::move(rt));
   try_dispatch();
 }
@@ -124,16 +139,34 @@ void NodeRuntime::run_task(ReadyTask&& task, int worker_idx) {
                   task.key.i, task.key.j, task.key.k);
     span.emplace(eng_, label);
   }
+  const des::Time start_g = charged_global_now();
   const des::Duration body = def_.execute(task.key, ctx);
   worker.charge(body + cfg_.task_epilogue_cost);
   span.reset();  // the span covers execute + epilogue, not the releases
   ++stats_.tasks_executed;
-  task_completed(task.key, ctx);
+
+  // Critical path: extend the trigger input's chain through this task.
+  // The wait between release and body start is runtime overhead (scheduler
+  // queue + worker availability); body + epilogue is compute.  The
+  // invariant chain.total() == finish_g holds because pred_sums.total()
+  // == release_g at every hand-off.
+  const des::Time finish_g = charged_global_now();
+  PathSums chain = task.pred_sums;
+  chain.overhead += start_g - task.release_g;
+  chain.compute += finish_g - start_g;
+  ++chain.tasks;
+  stats_.crit.observe(finish_g, chain, task.key);
+  stats_.stages[Stage::TaskStart].add(
+      static_cast<double>(start_g - task.release_g));
+
+  task_completed(task.key, ctx, chain);
   idle_workers_.push_back(worker_idx);
   try_dispatch();
 }
 
-void NodeRuntime::deliver_local(const Dep& dep, const DataCopyPtr& copy) {
+void NodeRuntime::deliver_local(const Dep& dep, const DataCopyPtr& copy,
+                                const PathSums& prod, bool remote,
+                                des::Time release_g) {
   auto [it, created] = task_states_.try_emplace(dep.task);
   TaskState& st = it->second;
   if (created) {
@@ -144,15 +177,36 @@ void NodeRuntime::deliver_local(const Dep& dep, const DataCopyPtr& copy) {
   auto& slot = st.inputs.at(static_cast<std::size_t>(dep.input));
   assert(slot == nullptr && "input delivered twice");
   slot = copy;
+  // The latest release is the trigger: its chain gates the task.  The gap
+  // between the producer chain's end and this release is communication
+  // time when the input crossed the wire, runtime overhead otherwise.  A
+  // negative gap means the delivery overlapped the producer's charged
+  // compute (messages inject at the uncharged event time); the overlapped
+  // portion was not actually on the path, so it comes out of compute.
+  if (!st.has_sums || release_g >= st.release_g) {
+    PathSums in = prod;
+    const des::Duration gap = release_g - in.total();
+    if (gap >= 0) {
+      (remote ? in.comm : in.overhead) += gap;
+    } else {
+      in.compute += gap;
+    }
+    st.in_sums = in;
+    st.release_g = release_g;
+    st.has_sums = true;
+  }
   if (--st.remaining == 0) {
     std::vector<DataCopyPtr> inputs = std::move(st.inputs);
     const TaskKey key = dep.task;
+    const PathSums pred = st.in_sums;
+    const des::Time rel_g = st.release_g;
     task_states_.erase(it);
-    task_ready(key, std::move(inputs));
+    task_ready(key, std::move(inputs), pred, rel_g);
   }
 }
 
-void NodeRuntime::task_completed(const TaskKey& key, RunContext& ctx) {
+void NodeRuntime::task_completed(const TaskKey& key, RunContext& ctx,
+                                 const PathSums& chain) {
   const int nout = def_.num_outputs(key);
   for (int f = 0; f < nout; ++f) {
     deps_scratch_.clear();
@@ -166,7 +220,8 @@ void NodeRuntime::task_completed(const TaskKey& key, RunContext& ctx) {
     for (const Dep& dep : deps_scratch_) {
       const int r = def_.rank_of(dep.task);
       if (r == rank_) {
-        deliver_local(dep, copy);
+        deliver_local(dep, copy, chain, /*remote=*/false,
+                      charged_global_now());
       } else {
         if (std::find(remote_ranks.begin(), remote_ranks.end(), r) ==
             remote_ranks.end()) {
@@ -178,7 +233,8 @@ void NodeRuntime::task_completed(const TaskKey& key, RunContext& ctx) {
     if (!remote_ranks.empty()) {
       std::sort(remote_ranks.begin(), remote_ranks.end());
       publish_remote(FlowKey{key, f}, copy, remote_prio,
-                     fabric_.local_clock(rank_), std::move(remote_ranks));
+                     fabric_.local_clock(rank_), chain,
+                     std::move(remote_ranks));
     }
   }
 }
@@ -188,6 +244,7 @@ void NodeRuntime::task_completed(const TaskKey& key, RunContext& ctx) {
 
 void NodeRuntime::publish_remote(const FlowKey& flow, const DataCopyPtr& copy,
                                  double priority, des::Time root_ts,
+                                 const PathSums& path,
                                  std::vector<std::int32_t> destinations) {
   // Split the destination list into at most `multicast_arity` children;
   // each child receives a contiguous slice of the remainder to forward.
@@ -213,6 +270,8 @@ void NodeRuntime::publish_remote(const FlowKey& flow, const DataCopyPtr& copy,
     rec.root_ts = root_ts;
     rec.send_ts = fabric_.local_clock(rank_);
     rec.real = copy->bytes != nullptr ? 1 : 0;
+    rec.trace = new_ctx(flow);
+    rec.path = path;
     rec.subtree.assign(destinations.begin() + consumed,
                        destinations.begin() + consumed + share);
     consumed += share;
@@ -224,6 +283,11 @@ void NodeRuntime::publish_remote(const FlowKey& flow, const DataCopyPtr& copy,
 
 void NodeRuntime::emit_activation(int dst, wire::ActivationRecord&& rec) {
   ++stats_.activations_sent;
+  // Stamps are event times (no pending-charge correction): messages are
+  // injected at the current sim time, so charged stamps would run ahead
+  // of the wire.  Within-callback CPU is charged, not elapsed — it shows
+  // up as wait time of whatever queues behind this thread.
+  rec.enqueue_ts = fabric_.local_clock(rank_);
   if (cfg_.mt_activate) {
     // §6.4.3: the worker (or whichever thread completes the flow) sends
     // directly.  No aggregation.
@@ -240,6 +304,11 @@ void NodeRuntime::emit_activation(int dst, wire::ActivationRecord&& rec) {
 
 void NodeRuntime::send_activate_am(
     int dst, const std::vector<wire::ActivationRecord>& records) {
+  if (eng_.trace_sink() != nullptr) {
+    for (const auto& r : records) {
+      des::emit_flow(eng_, "activate", r.trace.span_id, /*begin=*/true);
+    }
+  }
   const auto buf = wire::pack_activate(records);
   const ce::Status st =
       comm_.send_am(wire::kTagActivate, dst, buf.data(), buf.size());
@@ -287,6 +356,8 @@ void NodeRuntime::on_activate(const void* msg, std::size_t size, int src) {
     // makes the ACTIVATE callback block progress on the MPI backend (§4.3).
     std::optional<des::ChargeSpan> span;
     if (eng_.trace_sink() != nullptr) span.emplace(eng_, "activate.rec");
+    const des::Time reached_ts = fabric_.local_clock(rank_);
+    des::emit_flow(eng_, "activate", rec.trace.span_id, /*begin=*/false);
     des::charge_current(cfg_.activate_unpack_cost);
     PendingFetch pf;
     deps_scratch_.clear();
@@ -302,25 +373,37 @@ void NodeRuntime::on_activate(const void* msg, std::size_t size, int src) {
     des::charge_current(static_cast<des::Duration>(pf.local_deps.size()) *
                         cfg_.activate_per_dep_cost);
     pf.fetch_priority = prio;
-    pf.activated_ts = eng_.now();
+    pf.reached_ts = reached_ts;
+    pf.activated_ts = fabric_.local_clock(rank_);
     pf.record = std::move(rec);
 
     if (pf.record.size == 0 && pf.record.subtree.empty()) {
       // Control-only dependency: nothing to fetch; release immediately.
-      const des::Time now_g =
-          clock_.to_global(rank_, fabric_.local_clock(rank_));
+      // The lifecycle ends at activation, so the latency endpoint and the
+      // last e2e stage are the activation-processed stamp; the fetch and
+      // transfer stages contribute zero samples, keeping stage counts and
+      // the telescoping sum aligned with the e2e histogram.
+      const des::Time end_l = pf.activated_ts;
+      const des::Time end_g = clock_.to_global(rank_, end_l);
       const des::Time hop_g =
           clock_.to_global(pf.record.src_rank, pf.record.send_ts);
       const int root = def_.rank_of(pf.record.flow.producer);
       const des::Time root_g = clock_.to_global(root, pf.record.root_ts);
-      stats_.latency.add(static_cast<double>(now_g - hop_g),
-                         static_cast<double>(now_g - root_g));
+      stats_.latency.add(static_cast<double>(end_g - hop_g),
+                         static_cast<double>(end_g - root_g));
       ++stats_.data_arrivals;
+      record_stages(pf.record, clock_.to_global(rank_, pf.reached_ts),
+                    end_g, end_g, end_g, end_g);
+      const des::Time rel0 = charged_local_now();
       des::charge_current(
           static_cast<des::Duration>(pf.local_deps.size()) *
           cfg_.release_per_dep_cost);
+      stats_.stages[Stage::Release].add(
+          static_cast<double>(charged_local_now() - rel0));
       auto empty = DataCopy::virt(0);
-      for (const Dep& dep : pf.local_deps) deliver_local(dep, empty);
+      for (const Dep& dep : pf.local_deps) {
+        deliver_local(dep, empty, pf.record.path, /*remote=*/true, end_g);
+      }
       continue;
     }
 
@@ -357,7 +440,10 @@ bool NodeRuntime::issue_fetches() {
                   : 0;
     g.rsize = pf.record.size;
     des::charge_current(cfg_.getdata_handle_cost);
-    pf.requested_ts = eng_.now();
+    pf.requested_ts = fabric_.local_clock(rank_);
+    g.send_ts = pf.requested_ts;
+    g.trace = new_ctx(fo.flow);
+    des::emit_flow(eng_, "getdata", g.trace.span_id, /*begin=*/true);
     const ce::Status st =
         comm_.send_am(wire::kTagGetData, pf.record.src_rank, &g, sizeof g);
     assert(st == ce::Status::Ok);
@@ -371,6 +457,10 @@ bool NodeRuntime::issue_fetches() {
 
 void NodeRuntime::on_getdata(const void* msg, std::size_t size, int src) {
   const auto g = wire::unpack_pod<wire::GetDataMsg>(msg, size);
+  // The GET DATA wire stage ends when the handler reaches this request;
+  // handling cost and the put transfer belong to the transfer stage.
+  const des::Time reached_ts = fabric_.local_clock(rank_);
+  des::emit_flow(eng_, "getdata", g.trace.span_id, /*begin=*/false);
   des::charge_current(cfg_.getdata_handle_cost);
   auto it = outgoing_.find(g.flow);
   assert(it != outgoing_.end() && "GET DATA for unknown flow");
@@ -382,7 +472,11 @@ void NodeRuntime::on_getdata(const void* msg, std::size_t size, int src) {
                   out.copy->size};
   ce::MemReg rreg{src, reinterpret_cast<void*>(g.rbase),
                   static_cast<std::size_t>(g.rsize)};
-  const wire::DataArrivedMsg arrived{g.flow};
+  wire::DataArrivedMsg arrived;
+  arrived.flow = g.flow;
+  arrived.put_ts = reached_ts;
+  arrived.trace = new_ctx(g.flow);
+  des::emit_flow(eng_, "data", arrived.trace.span_id, /*begin=*/true);
   const FlowKey flow = g.flow;
   // Keep the copy alive until the put drains locally; then retire the
   // outgoing entry once every direct child has been served.
@@ -405,6 +499,9 @@ void NodeRuntime::on_data_arrived(const void* msg, std::size_t size,
                                   int src) {
   (void)src;
   const auto d = wire::unpack_pod<wire::DataArrivedMsg>(msg, size);
+  const des::Time end_l = fabric_.local_clock(rank_);
+  const des::Time rel0 = charged_local_now();
+  des::emit_flow(eng_, "data", d.trace.span_id, /*begin=*/false);
   des::charge_current(cfg_.data_release_cost);
   auto it = pending_.find(d.flow);
   assert(it != pending_.end() && "data arrived for unknown flow");
@@ -414,8 +511,7 @@ void NodeRuntime::on_data_arrived(const void* msg, std::size_t size,
   ++stats_.data_arrivals;
 
   // Latency accounting (§6.1.3): clock-corrected, per flow.
-  const des::Time now_g =
-      clock_.to_global(rank_, fabric_.local_clock(rank_));
+  const des::Time now_g = clock_.to_global(rank_, end_l);
   const des::Time hop_send_g =
       clock_.to_global(pf.record.src_rank, pf.record.send_ts);
   // root_ts was stamped by the multicast root; we do not know the root's
@@ -426,18 +522,68 @@ void NodeRuntime::on_data_arrived(const void* msg, std::size_t size,
                      static_cast<double>(now_g - root_send_g));
   stats_.fetch_wait.add(
       static_cast<double>(pf.requested_ts - pf.activated_ts));
-  stats_.transfer.add(static_cast<double>(eng_.now() - pf.requested_ts));
+  stats_.transfer.add(static_cast<double>(end_l - pf.requested_ts));
+  record_stages(pf.record, clock_.to_global(rank_, pf.reached_ts),
+                clock_.to_global(rank_, pf.activated_ts),
+                clock_.to_global(rank_, pf.requested_ts),
+                clock_.to_global(pf.record.src_rank, d.put_ts), now_g);
 
   des::charge_current(static_cast<des::Duration>(pf.local_deps.size()) *
                       cfg_.release_per_dep_cost);
-  for (const Dep& dep : pf.local_deps) deliver_local(dep, pf.buffer);
+  stats_.stages[Stage::Release].add(
+      static_cast<double>(charged_local_now() - rel0));
+  for (const Dep& dep : pf.local_deps) {
+    deliver_local(dep, pf.buffer, pf.record.path, /*remote=*/true, now_g);
+  }
 
   if (!pf.record.subtree.empty()) {
     ++stats_.forwards;
     publish_remote(pf.record.flow, pf.buffer, pf.record.priority,
-                   pf.record.root_ts, std::move(pf.record.subtree));
+                   pf.record.root_ts, pf.record.path,
+                   std::move(pf.record.subtree));
   }
   issue_fetches();
+}
+
+// ---------------------------------------------------------------------------
+// Tracing / stage instrumentation
+
+des::Time NodeRuntime::charged_local_now() const {
+  const des::SimThread* const t = des::SimThread::current();
+  return fabric_.local_clock(rank_) + (t ? t->pending_charge() : 0);
+}
+
+des::Time NodeRuntime::charged_global_now() const {
+  return clock_.to_global(rank_, charged_local_now());
+}
+
+wire::TraceCtx NodeRuntime::new_ctx(const FlowKey& flow) {
+  wire::TraceCtx ctx;
+  // The trace id names the flow: a hash of the root FlowKey, identical on
+  // every hop of the multicast tree.  The span id names this message leg;
+  // the rank in the high bits keeps ids unique without coordination, and
+  // the per-node counter is deterministic (single-threaded simulation).
+  ctx.trace_id = static_cast<std::uint64_t>(FlowKeyHash{}(flow));
+  ctx.span_id = ((static_cast<std::uint64_t>(rank_) + 1) << 44) | ++span_seq_;
+  return ctx;
+}
+
+void NodeRuntime::record_stages(const wire::ActivationRecord& rec,
+                                des::Time reached_g, des::Time activated_g,
+                                des::Time requested_g, des::Time put_g,
+                                des::Time end_g) {
+  const int root = def_.rank_of(rec.flow.producer);
+  const des::Time root_g = clock_.to_global(root, rec.root_ts);
+  const des::Time enq_g = clock_.to_global(rec.src_rank, rec.enqueue_ts);
+  const des::Time send_g = clock_.to_global(rec.src_rank, rec.send_ts);
+  StageLats& st = stats_.stages;
+  st[Stage::Upstream].add(static_cast<double>(enq_g - root_g));
+  st[Stage::Queue].add(static_cast<double>(send_g - enq_g));
+  st[Stage::ActivateWire].add(static_cast<double>(reached_g - send_g));
+  st[Stage::ActivateHandle].add(static_cast<double>(activated_g - reached_g));
+  st[Stage::FetchWait].add(static_cast<double>(requested_g - activated_g));
+  st[Stage::GetdataWire].add(static_cast<double>(put_g - requested_g));
+  st[Stage::Transfer].add(static_cast<double>(end_g - put_g));
 }
 
 // ---------------------------------------------------------------------------

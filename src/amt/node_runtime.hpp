@@ -57,18 +57,29 @@ class NodeRuntime {
 
   /// Aggregate busy time over worker threads (for utilization reports).
   des::Duration worker_busy_time() const;
+  /// Latest charged-busy horizon across this node's worker/comm threads.
+  /// The engine stops at the last *event*; a final task's charged compute
+  /// elapses past it, so the true makespan is the max of both.
+  des::Time threads_free_at() const;
   des::SimThread& comm_thread() { return *comm_thread_; }
 
  private:
   struct TaskState {
     int remaining = 0;
     std::vector<DataCopyPtr> inputs;
+    // Critical-path bookkeeping: the chain sums of the latest delivery so
+    // far (the trigger input — the one whose release lets the task run).
+    PathSums in_sums;
+    des::Time release_g = 0;
+    bool has_sums = false;
   };
   struct ReadyTask {
     double priority = 0.0;
     std::uint64_t seq = 0;  ///< FIFO among equal priorities
     TaskKey key;
     std::vector<DataCopyPtr> inputs;
+    PathSums pred_sums;      ///< chain sums up to the trigger release
+    des::Time release_g = 0; ///< when the last input was released (global)
   };
   struct ReadyOrder {
     bool operator()(const ReadyTask& a, const ReadyTask& b) const {
@@ -89,6 +100,7 @@ class NodeRuntime {
     DataCopyPtr buffer;
     double fetch_priority = 0.0;
     bool requested = false;
+    des::Time reached_ts = 0;    ///< when the handler reached this record
     des::Time activated_ts = 0;  ///< when the ACTIVATE was processed here
     des::Time requested_ts = 0;  ///< when GET DATA left
   };
@@ -103,15 +115,19 @@ class NodeRuntime {
   };
 
   // --- scheduling -----------------------------------------------------
-  void task_ready(const TaskKey& key, std::vector<DataCopyPtr> inputs);
+  void task_ready(const TaskKey& key, std::vector<DataCopyPtr> inputs,
+                  const PathSums& pred, des::Time release_g);
   void try_dispatch();
   void run_task(ReadyTask&& task, int worker_idx);
-  void task_completed(const TaskKey& key, RunContext& ctx);
-  void deliver_local(const Dep& dep, const DataCopyPtr& copy);
+  void task_completed(const TaskKey& key, RunContext& ctx,
+                      const PathSums& chain);
+  void deliver_local(const Dep& dep, const DataCopyPtr& copy,
+                     const PathSums& prod, bool remote, des::Time release_g);
 
   // --- communication ----------------------------------------------------
   void publish_remote(const FlowKey& flow, const DataCopyPtr& copy,
                       double priority, des::Time root_ts,
+                      const PathSums& path,
                       std::vector<std::int32_t> destinations);
   void emit_activation(int dst, wire::ActivationRecord&& rec);
   void send_activate_am(int dst, const std::vector<wire::ActivationRecord>&);
@@ -122,6 +138,23 @@ class NodeRuntime {
   bool flush_activations();
   bool comm_body();
   void wake_comm();
+
+  // --- tracing / stage instrumentation ----------------------------------
+  /// Local-clock "now" including CPU time charged so far by the current
+  /// work item.  Charges don't advance sim time, so this is the stamp
+  /// that sequences sub-steps within one callback correctly.
+  des::Time charged_local_now() const;
+  des::Time charged_global_now() const;
+  /// Fresh causal identity for one message leg of `flow`: the trace id
+  /// names the flow (stable across hops), the span id this leg.
+  wire::TraceCtx new_ctx(const FlowKey& flow);
+  /// Records the telescoping stage samples for one delivered record.  All
+  /// timestamps are global-clock; consecutive stages share endpoints, so
+  /// the seven e2e stages sum exactly to `end_g - root_g` — the same
+  /// quantity LatencyStats::e2e records for this flow.
+  void record_stages(const wire::ActivationRecord& rec, des::Time reached_g,
+                     des::Time activated_g, des::Time requested_g,
+                     des::Time put_g, des::Time end_g);
 
   des::Engine& eng_;
   net::Fabric& fabric_;
@@ -147,6 +180,7 @@ class NodeRuntime {
       outgoing_activations_;
   std::uint64_t fetch_seq_ = 0;
   int inflight_fetches_ = 0;
+  std::uint64_t span_seq_ = 0;  ///< per-node trace span allocator
 
   std::unique_ptr<des::SimThread> comm_thread_;
   std::unique_ptr<des::PollLoop> comm_loop_;

@@ -1,5 +1,7 @@
 #include "amt/runtime.hpp"
 
+#include <algorithm>
+
 namespace amt {
 
 Runtime::Runtime(des::Engine& engine, net::Fabric& fabric,
@@ -25,7 +27,12 @@ des::Duration Runtime::run() {
   assert(executed == def_.total_tasks() &&
          "runtime quiesced before completing all tasks (deadlock?)");
   (void)executed;
-  return eng_.now() - start;
+  // The engine quiesces at the last event, but the final tasks' charged
+  // compute still has to elapse on their workers; without it the makespan
+  // would end before the critical path's last task finishes.
+  des::Time end = eng_.now();
+  for (const auto& n : nodes_) end = std::max(end, n->threads_free_at());
+  return end - start;
 }
 
 NodeStats Runtime::aggregate_stats() const {
@@ -42,6 +49,8 @@ NodeStats Runtime::aggregate_stats() const {
     total.latency.merge(s.latency);
     total.fetch_wait.merge(s.fetch_wait);
     total.transfer.merge(s.transfer);
+    total.stages.merge(s.stages);
+    total.crit.merge(s.crit);
   }
   return total;
 }

@@ -15,6 +15,7 @@
 
 #include "ce/comm_engine.hpp"
 #include "des/time.hpp"
+#include "amt/config.hpp"
 #include "amt/task_key.hpp"
 
 namespace amt::wire {
@@ -24,15 +25,30 @@ inline constexpr ce::Tag kTagActivate = 0x10;
 inline constexpr ce::Tag kTagGetData = 0x11;
 inline constexpr ce::Tag kTagDataArrived = 0x12;  ///< put r_tag
 
+/// Causal trace identity carried on every control message of a flow's
+/// lifecycle.  `trace_id` names the flow (stable across multicast hops,
+/// aggregation, and retransmission — it is derived from the root FlowKey);
+/// `span_id` names one message leg and changes at each hop.  Rides inside
+/// the runtime's wire payloads, which both CE backends and the reliable
+/// sublayer treat as opaque bytes, so retransmissions resend the context
+/// intact.
+struct TraceCtx {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+};
+
 struct ActivationRecord {
   FlowKey flow;
   std::uint64_t size = 0;      ///< data bytes to fetch
   std::int32_t src_rank = -1;  ///< who holds the data (tree parent)
   double priority = 0.0;
   des::Time root_ts = 0;       ///< multicast-root send time (local clock)
+  des::Time enqueue_ts = 0;    ///< when this hop queued the record (local)
   des::Time send_ts = 0;       ///< this hop's send time (local clock)
   std::uint8_t real = 0;       ///< 1 = data has real bytes (receiver
                                ///< allocates a real buffer)
+  TraceCtx trace;              ///< causal identity of this ACTIVATE leg
+  PathSums path;               ///< producer-chain sums (critical path)
   std::vector<std::int32_t> subtree;  ///< ranks this destination forwards to
 };
 
@@ -59,7 +75,8 @@ T read(const std::byte*& p) {
 
 inline std::size_t record_wire_size(const ActivationRecord& r) {
   return sizeof(FlowKey) + sizeof(std::uint64_t) + sizeof(std::int32_t) +
-         sizeof(double) + 2 * sizeof(des::Time) + sizeof(std::uint8_t) +
+         sizeof(double) + 3 * sizeof(des::Time) + sizeof(std::uint8_t) +
+         sizeof(TraceCtx) + sizeof(PathSums) +
          sizeof(std::uint16_t) + r.subtree.size() * sizeof(std::int32_t);
 }
 
@@ -70,8 +87,11 @@ inline void pack_record(std::vector<std::byte>& buf,
   detail::append(buf, r.src_rank);
   detail::append(buf, r.priority);
   detail::append(buf, r.root_ts);
+  detail::append(buf, r.enqueue_ts);
   detail::append(buf, r.send_ts);
   detail::append(buf, r.real);
+  detail::append(buf, r.trace);
+  detail::append(buf, r.path);
   detail::append(buf, static_cast<std::uint16_t>(r.subtree.size()));
   for (const auto rank : r.subtree) detail::append(buf, rank);
 }
@@ -99,8 +119,11 @@ inline std::vector<ActivationRecord> unpack_activate(const void* msg,
     r.src_rank = detail::read<std::int32_t>(p);
     r.priority = detail::read<double>(p);
     r.root_ts = detail::read<des::Time>(p);
+    r.enqueue_ts = detail::read<des::Time>(p);
     r.send_ts = detail::read<des::Time>(p);
     r.real = detail::read<std::uint8_t>(p);
+    r.trace = detail::read<TraceCtx>(p);
+    r.path = detail::read<PathSums>(p);
     const auto n = detail::read<std::uint16_t>(p);
     r.subtree.resize(n);
     for (auto& rank : r.subtree) rank = detail::read<std::int32_t>(p);
@@ -115,10 +138,14 @@ struct GetDataMsg {
   FlowKey flow;
   std::uint64_t rbase = 0;  ///< requester's registration (0 = virtual)
   std::uint64_t rsize = 0;
+  des::Time send_ts = 0;    ///< requester's GET DATA send time (local clock)
+  TraceCtx trace;           ///< causal identity of this GET DATA leg
 };
 
 struct DataArrivedMsg {
   FlowKey flow;
+  des::Time put_ts = 0;     ///< holder's put-issue time (local clock)
+  TraceCtx trace;           ///< causal identity of the data leg
 };
 
 template <typename T>

@@ -8,6 +8,7 @@
 
 #include "des/engine.hpp"
 #include "net/fabric.hpp"
+#include "obs/stats.hpp"
 #include "obs/trace.hpp"
 #include "amt/runtime.hpp"
 
@@ -120,6 +121,14 @@ PingPongResult run_pingpong(ce::BackendKind backend,
                     : 0);
   amt::Runtime runtime(eng, fab, comm, graph, rt);
   const des::Duration makespan = runtime.run();
+  const amt::NodeStats agg = runtime.aggregate_stats();
+  {
+    // Fold this simulation's metrics (CE/fabric + runtime latency stages)
+    // into the process-wide accumulator for AMTLCE_METRICS.
+    obs::Recorder snap = comm.metrics();
+    amt::export_latency_metrics(agg, snap);
+    metrics_accumulator().merge(snap);
+  }
 
   PingPongResult res;
   res.tts_s = des::to_seconds(makespan);
@@ -132,7 +141,9 @@ PingPongResult run_pingpong(ce::BackendKind backend,
                        opts.streams * (opts.iterations - 1);
   res.gbit_per_s = bytes * 8.0 / res.tts_s / 1e9;
   res.gflop_per_s = graph.total_flops() / res.tts_s / 1e9;
-  res.latency = runtime.aggregate_stats().latency;
+  res.latency = agg.latency;
+  res.stages = agg.stages;
+  res.crit = agg.crit;
   return res;
 }
 
@@ -149,6 +160,8 @@ PingPongResult run_pingpong_series(const Reps& reps, ce::BackendKind backend,
     agg.gflop_per_s += r.gflop_per_s;
     agg.tts_s += r.tts_s;
     agg.latency.merge(r.latency);
+    agg.stages.merge(r.stages);
+    agg.crit.merge(r.crit);
     ++counted;
   }
   if (counted > 0) {
@@ -199,6 +212,35 @@ double netpipe_gbit(std::size_t fragment_bytes, std::size_t total_bytes,
   const double bytes = static_cast<double>(fragment_bytes) *
                        static_cast<double>(received - 1);
   return bytes * 8.0 / des::to_seconds(last - first) / 1e9;
+}
+
+obs::Recorder& metrics_accumulator() {
+  static obs::Recorder rec;
+  return rec;
+}
+
+bool export_metrics_env() {
+  const char* path = std::getenv("AMTLCE_METRICS");
+  if (path == nullptr || *path == '\0') return false;
+  std::ofstream out(path);
+  if (!out) return false;
+  out << obs::metrics_json(metrics_accumulator());
+  return static_cast<bool>(out);
+}
+
+std::string critical_path_line(const amt::CriticalPath& cp) {
+  if (!cp.seen) return "critical path: (no tasks observed)";
+  char buf[192];
+  std::snprintf(
+      buf, sizeof buf,
+      "critical path: %u tasks, %.3f ms = compute %.3f + comm %.3f + "
+      "overhead %.3f ms, ends at task %d(%d,%d,%d)",
+      cp.sums.tasks, static_cast<double>(cp.sums.total()) / 1e6,
+      static_cast<double>(cp.sums.compute) / 1e6,
+      static_cast<double>(cp.sums.comm) / 1e6,
+      static_cast<double>(cp.sums.overhead) / 1e6, cp.last.cls, cp.last.i,
+      cp.last.j, cp.last.k);
+  return buf;
 }
 
 Table::Table(std::string title, std::vector<std::string> columns)

@@ -55,6 +55,10 @@ struct PingPongResult {
   double tts_s = 0;
   /// Per-flow latency distribution (hop + e2e) aggregated over all nodes.
   amt::LatencyStats latency;
+  /// Lifecycle-stage decomposition of the e2e path (telescoping stages).
+  amt::StageLats stages;
+  /// Longest weighted dependency chain across the run.
+  amt::CriticalPath crit;
 };
 
 /// Runs the §6.2/§6.3 ping-pong graph on a fresh 2..N-node cluster.
@@ -75,6 +79,23 @@ PingPongResult run_pingpong_series(
 double netpipe_gbit(std::size_t fragment_bytes,
                     std::size_t total_bytes = 256ull << 20,
                     net::FabricConfig fabric = net::expanse_config());
+
+/// Process-wide metrics accumulator: run_pingpong merges each
+/// simulation's obs::Recorder snapshot here (the figure benches do the
+/// same with ExperimentResult::metrics), so one AMTLCE_METRICS dump can
+/// cover a whole sweep.
+obs::Recorder& metrics_accumulator();
+
+/// When AMTLCE_METRICS names a path, writes obs::metrics_json() of the
+/// accumulator there (overwritten on every call — call last).  Returns
+/// true when a file was written.
+bool export_metrics_env();
+
+/// One-line critical-path breakdown for reports, e.g.
+///   "critical path: 42 tasks, 12.345 ms = compute 8.000 + comm 3.500 +
+///    overhead 0.845 ms, ends at task 2(5,3,1)"
+/// Deterministic: same simulation seed, byte-identical line.
+std::string critical_path_line(const amt::CriticalPath& cp);
 
 /// Aligned table output: header once, then add_row per line; also emits
 /// a CSV copy next to stdout when AMTLCE_CSV is set to a path prefix.

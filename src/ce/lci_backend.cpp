@@ -41,6 +41,7 @@ LciBackend::LciBackend(mlci::Device& device, des::Engine& engine,
       done.r_cb_data.assign(v.r_cb_data, v.r_cb_data + v.hdr.r_cb_size);
     }
     done.origin = req.peer;
+    done.flow_id = put_flow_id(req.peer, v.hdr.data_tag);
     done.size = req.size;
     done.started = eng_.now();
     done.queued = eng_.now();
@@ -150,6 +151,8 @@ int LciBackend::put(const MemReg& lreg, std::ptrdiff_t ldispl,
   ++stats_.puts_started;
   const des::Time put_start = eng_.now();
   const std::uint64_t data_tag = next_data_tag_++;
+  des::emit_flow(eng_, "put", put_flow_id(rank(), data_tag),
+                 /*begin=*/true);
   const void* src = nullptr;
   if (lreg.base != nullptr) {
     src = static_cast<const std::byte*>(lreg.base) + ldispl;
@@ -322,6 +325,7 @@ void LciBackend::handle_handshake(mlci::Request&& req) {
     done.r_cb_data.assign(v.r_cb_data, v.r_cb_data + v.hdr.r_cb_size);
   }
   done.origin = req.peer;
+  done.flow_id = put_flow_id(req.peer, v.hdr.data_tag);
   done.size = static_cast<std::size_t>(v.hdr.size);
   done.started = eng_.now();
 
@@ -398,6 +402,7 @@ void LciBackend::dispatch_data_handle(DataHandle&& h) {
     assert(it != tags_.end() && "put r_tag not registered");
     std::optional<des::ChargeSpan> span;
     if (eng_.trace_sink() != nullptr) span.emplace(eng_, "put.r_cb");
+    des::emit_flow(eng_, "put", h.flow_id, /*begin=*/false);
     it->second.cb(*this, h.r_tag, h.r_cb_data.data(), h.r_cb_data.size(),
                   h.origin, it->second.cb_data);
   }

@@ -98,6 +98,7 @@ class LciBackend final : public CommEngine {
     Tag r_tag = 0;
     std::vector<std::byte> r_cb_data;
     int origin = -1;
+    std::uint64_t flow_id = 0;  ///< put trace-flow id (origin, data_tag)
     /// Put start (origin call / handshake arrival): put_local/put_remote
     /// latency base.
     des::Time started = 0;

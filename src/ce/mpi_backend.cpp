@@ -100,6 +100,8 @@ int MpiBackend::put(const MemReg& lreg, std::ptrdiff_t ldispl,
   h.r_cb_size = static_cast<std::uint32_t>(r_cb_data_size);
   const auto buf = pack_handshake(h, r_cb_data, nullptr, 0);
   rank_.send(buf.data(), buf.size(), remote, kHandshakeTag);
+  des::emit_flow(rank_.engine(), "put", put_flow_id(rank(), data_tag),
+                 /*begin=*/true);
 
   Entry e;
   e.kind = Entry::Kind::DataSend;
@@ -144,6 +146,7 @@ void MpiBackend::handle_handshake(const void* msg, std::size_t size,
   }
   e.origin = src;
   e.size = static_cast<std::size_t>(v.hdr.size);
+  e.data_tag = v.hdr.data_tag;
   e.started = rank_.engine().now();
   void* dst = nullptr;
   if (v.hdr.rbase != 0) {
@@ -248,6 +251,9 @@ int MpiBackend::progress() {
           if (rank_.engine().trace_sink() != nullptr) {
             span.emplace(rank_.engine(), "put.r_cb");
           }
+          des::emit_flow(rank_.engine(), "put",
+                         put_flow_id(e.origin, e.data_tag),
+                         /*begin=*/false);
           it->second.cb(*this, e.r_tag, e.r_cb_data.data(),
                         e.r_cb_data.size(), e.origin, it->second.cb_data);
           done[idx] = true;

@@ -30,6 +30,17 @@ struct PutHandshake {
 
 inline constexpr std::uint32_t kHandshakeEagerData = 1u;
 
+/// Trace-flow identity of one put transfer, derivable independently on
+/// both sides: the origin rank plus the per-origin data tag (both reach
+/// the target in the handshake).  Bit 63 is set by the data-tag range
+/// already (kDataTagBase), keeping put flow ids disjoint from the
+/// runtime-level span ids.
+inline std::uint64_t put_flow_id(int origin, std::uint64_t data_tag) {
+  return data_tag ^ (static_cast<std::uint64_t>(
+                         static_cast<std::uint32_t>(origin))
+                     << 40);
+}
+
 /// Serializes header + callback data (+ optional eager payload bytes).
 inline std::vector<std::byte> pack_handshake(const PutHandshake& h,
                                              const void* r_cb_data,

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <array>
 #include <cassert>
+#include <cstdio>
 #include <cstring>
 
+#include "des/trace_sink.hpp"
 #include "obs/stats.hpp"
 
 namespace ce {
@@ -195,6 +197,16 @@ void ReliableChannel::on_timer(net::NodeId dst, std::uint64_t seq) {
   ++domain_.stats_.retransmits;
   if (domain_.rec_ != nullptr) {
     domain_.rec_->counter("ce.rel.retransmits").add();
+  }
+  if (des::TraceSink* const sink = eng_.trace_sink()) {
+    // Mark the retransmission on the sender's egress track so traces show
+    // why a flow arrow spans several RTOs.
+    char label[48];
+    std::snprintf(label, sizeof label, "rel.retransmit seq=%llu",
+                  static_cast<unsigned long long>(seq));
+    char track[32];
+    std::snprintf(track, sizeof track, "nic%d.egress", node_);
+    sink->instant(track, label, eng_.now());
   }
   u.rto = std::min(static_cast<des::Duration>(
                        static_cast<double>(u.rto) * domain_.cfg_.rto_backoff),

@@ -142,6 +142,21 @@ inline void charge_current(Duration cost) {
   if (SimThread* t = SimThread::current()) t->charge(cost);
 }
 
+/// Emits one end of a causal flow arrow at the current charged-local time
+/// on the current SimThread's track ("events" outside any thread).  Sim
+/// time does not advance inside a work item, so the timestamp is laid at
+/// now() + charge-so-far — the same layout rule ChargeSpan uses — which
+/// binds the arrow end to the sub-span being traced around it.  No-op when
+/// no sink is installed.
+inline void emit_flow(Engine& engine, std::string_view name,
+                      std::uint64_t id, bool begin) {
+  TraceSink* const sink = engine.trace_sink();
+  if (sink == nullptr) return;
+  SimThread* const t = SimThread::current();
+  const Time ts = engine.now() + (t ? t->pending_charge() : 0);
+  sink->flow(t ? t->name() : "events", name, ts, id, begin);
+}
+
 /// RAII trace span covering the simulated CPU time charged to the current
 /// SimThread while it is alive.  Sim time does not advance inside a work
 /// item, so the span is laid out at now() + charge-so-far: consecutive

@@ -8,6 +8,7 @@
 // implementation.
 #pragma once
 
+#include <cstdint>
 #include <string_view>
 
 #include "des/time.hpp"
@@ -26,6 +27,20 @@ class TraceSink {
   /// A point event on a named track.
   virtual void instant(std::string_view track, std::string_view name,
                        Time t) = 0;
+
+  /// One end of a causal flow arrow between tracks: `begin` marks the
+  /// producing end (Chrome-trace ph:"s"), `!begin` the consuming end
+  /// (ph:"f").  The viewer matches ends by (name, id); both ends bind to
+  /// the slice enclosing `t` on their track.  Default: ignored, so sinks
+  /// that only care about spans need not override.
+  virtual void flow(std::string_view track, std::string_view name, Time t,
+                    std::uint64_t id, bool begin) {
+    (void)track;
+    (void)name;
+    (void)t;
+    (void)id;
+    (void)begin;
+  }
 };
 
 }  // namespace des

@@ -61,6 +61,7 @@ ExperimentResult run_tlr_cholesky(const ExperimentConfig& cfg) {
   res.fabric_messages = fabric.total_messages();
   res.fabric_bytes = fabric.total_bytes();
   res.metrics = comm.metrics();
+  amt::export_latency_metrics(res.runtime_stats, res.metrics);
   res.mean_rank = graph.mean_offdiag_rank();
   if (cfg.tlr.mode == TlrOptions::Mode::Real) {
     res.residual = graph.verify();

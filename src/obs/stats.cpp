@@ -151,4 +151,94 @@ std::string Recorder::summary() const {
   return out;
 }
 
+namespace {
+
+void append_json_string(std::string& out, std::string_view s) {
+  out += '"';
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  out += '"';
+}
+
+void append_json_number(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "null";
+    return;
+  }
+  char buf[40];
+  // %.17g round-trips doubles, keeping identical runs byte-identical.
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out += buf;
+}
+
+}  // namespace
+
+std::string metrics_json(const Recorder& rec) {
+  std::string out;
+  out += "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : rec.counters()) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    ";
+    append_json_string(out, name);
+    out += ": ";
+    out += std::to_string(c.value());
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : rec.gauges()) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    ";
+    append_json_string(out, name);
+    out += ": {\"value\": ";
+    append_json_number(out, g.value());
+    out += ", \"min\": ";
+    append_json_number(out, g.min());
+    out += ", \"max\": ";
+    append_json_number(out, g.max());
+    out += "}";
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : rec.histograms()) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    ";
+    append_json_string(out, name);
+    out += ": {\"count\": ";
+    out += std::to_string(h.count());
+    out += ", \"sum\": ";
+    append_json_number(out, h.sum());
+    out += ", \"mean\": ";
+    append_json_number(out, h.mean());
+    out += ", \"min\": ";
+    append_json_number(out, h.min());
+    out += ", \"max\": ";
+    append_json_number(out, h.max());
+    out += ", \"p50\": ";
+    append_json_number(out, h.p50());
+    out += ", \"p90\": ";
+    append_json_number(out, h.p90());
+    out += ", \"p99\": ";
+    append_json_number(out, h.p99());
+    out += "}";
+  }
+  out += first ? "}\n}\n" : "\n  }\n}\n";
+  return out;
+}
+
 }  // namespace obs

@@ -121,4 +121,11 @@ class Recorder {
   std::map<std::string, Histogram, std::less<>> histograms_;
 };
 
+/// Machine-readable dump of a recorder: one JSON object with "counters"
+/// (name -> value), "gauges" (name -> {value,min,max}), and "histograms"
+/// (name -> {count,sum,mean,min,max,p50,p90,p99}).  Key order follows the
+/// recorder's (sorted) iteration order, so outputs of identical runs are
+/// byte-identical and diffable in CI.
+std::string metrics_json(const Recorder& rec);
+
 }  // namespace obs

@@ -180,6 +180,14 @@ TraceConfig TraceConfig::from_env() {
   if (const char* p = std::getenv("AMTLCE_TRACE"); p != nullptr && *p != '\0') {
     cfg.path = p;
   }
+  if (const char* p = std::getenv("AMTLCE_TRACE_MAX_EVENTS");
+      p != nullptr && *p != '\0') {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(p, &end, 0);
+    if (end != p && *end == '\0' && v > 0) {
+      cfg.max_events = static_cast<std::size_t>(v);
+    }
+  }
   return cfg;
 }
 
@@ -197,21 +205,42 @@ int Tracer::tid_for(std::string_view track) {
   return tid;
 }
 
+bool Tracer::admit() {
+  if (events_.size() < cfg_.max_events) return true;
+  ++dropped_;
+  return false;
+}
+
 void Tracer::span(std::string_view track, std::string_view name,
                   des::Time start, des::Duration dur) {
+  if (!admit()) return;
   if (dur < 0) dur = 0;
-  events_.push_back(Event{tid_for(track), std::string(name), start, dur});
+  events_.push_back(
+      Event{tid_for(track), std::string(name), start, dur, Kind::Span, 0});
 }
 
 void Tracer::instant(std::string_view track, std::string_view name,
                      des::Time t) {
-  events_.push_back(Event{tid_for(track), std::string(name), t, -1});
+  if (!admit()) return;
+  events_.push_back(
+      Event{tid_for(track), std::string(name), t, 0, Kind::Instant, 0});
+}
+
+void Tracer::flow(std::string_view track, std::string_view name, des::Time t,
+                  std::uint64_t id, bool begin) {
+  if (!admit()) return;
+  events_.push_back(Event{tid_for(track), std::string(name), t, 0,
+                          begin ? Kind::FlowBegin : Kind::FlowEnd, id});
 }
 
 std::string Tracer::json() const {
   std::string out;
   out.reserve(events_.size() * 96 + 256);
-  out += "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  out += "{\"displayTimeUnit\":\"ns\",\"otherData\":{\"droppedEvents\":";
+  out += std::to_string(dropped_);
+  out += ",\"maxEvents\":";
+  out += std::to_string(cfg_.max_events);
+  out += "},\"traceEvents\":[";
   bool first = true;
   // Thread-name metadata first, so viewers label tracks before any event.
   for (std::size_t tid = 0; tid < tracks_.size(); ++tid) {
@@ -226,18 +255,38 @@ std::string Tracer::json() const {
   for (const Event& e : events_) {
     if (!first) out += ',';
     first = false;
-    if (e.dur < 0) {
-      out += "{\"ph\":\"i\",\"s\":\"t\",\"pid\":0,\"tid\":";
-      out += std::to_string(e.tid);
-      out += ",\"ts\":";
-      append_us(out, e.ts);
-    } else {
-      out += "{\"ph\":\"X\",\"pid\":0,\"tid\":";
-      out += std::to_string(e.tid);
-      out += ",\"ts\":";
-      append_us(out, e.ts);
-      out += ",\"dur\":";
-      append_us(out, e.dur);
+    switch (e.kind) {
+      case Kind::Instant:
+        out += "{\"ph\":\"i\",\"s\":\"t\",\"pid\":0,\"tid\":";
+        out += std::to_string(e.tid);
+        out += ",\"ts\":";
+        append_us(out, e.ts);
+        break;
+      case Kind::Span:
+        out += "{\"ph\":\"X\",\"pid\":0,\"tid\":";
+        out += std::to_string(e.tid);
+        out += ",\"ts\":";
+        append_us(out, e.ts);
+        out += ",\"dur\":";
+        append_us(out, e.dur);
+        break;
+      case Kind::FlowBegin:
+      case Kind::FlowEnd:
+        // Flow arrows: the viewer matches "s"/"f" pairs by (cat, id, name)
+        // and binds each end to the slice enclosing ts on its track.
+        // bp:"e" attaches the finish to the enclosing slice rather than
+        // the next one, which is what a message-delivery handler wants.
+        out += "{\"ph\":\"";
+        out += (e.kind == Kind::FlowBegin) ? 's' : 'f';
+        out += '"';
+        if (e.kind == Kind::FlowEnd) out += ",\"bp\":\"e\"";
+        out += ",\"cat\":\"flow\",\"id\":";
+        out += std::to_string(e.flow_id);
+        out += ",\"pid\":0,\"tid\":";
+        out += std::to_string(e.tid);
+        out += ",\"ts\":";
+        append_us(out, e.ts);
+        break;
     }
     out += ",\"name\":\"";
     append_escaped(out, e.name);

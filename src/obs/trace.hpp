@@ -26,9 +26,15 @@ namespace obs {
 struct TraceConfig {
   std::string path;  ///< output file; empty disables tracing
 
+  /// In-memory event cap; events past the cap are counted as dropped, not
+  /// stored, so long chaos soaks with tracing on stay bounded.
+  static constexpr std::size_t kDefaultMaxEvents = 1u << 21;
+  std::size_t max_events = kDefaultMaxEvents;
+
   bool enabled() const { return !path.empty(); }
 
-  /// Reads AMTLCE_TRACE (unset/empty => disabled).
+  /// Reads AMTLCE_TRACE (unset/empty => disabled) and
+  /// AMTLCE_TRACE_MAX_EVENTS (0 or unparsable => default cap).
   static TraceConfig from_env();
 };
 
@@ -41,8 +47,15 @@ class Tracer final : public des::TraceSink {
             des::Duration dur) override;
   void instant(std::string_view track, std::string_view name,
                des::Time t) override;
+  void flow(std::string_view track, std::string_view name, des::Time t,
+            std::uint64_t id, bool begin) override;
 
   std::size_t num_events() const { return events_.size(); }
+
+  /// Events discarded because the buffer hit cfg.max_events.  Also emitted
+  /// into the JSON as otherData.droppedEvents so a consumer of the file can
+  /// tell the trace is truncated.
+  std::uint64_t dropped_events() const { return dropped_; }
 
   /// Renders the full trace JSON (what write() puts on disk).
   std::string json() const;
@@ -58,19 +71,25 @@ class Tracer final : public des::TraceSink {
   static std::unique_ptr<Tracer> attach_from_env(des::Engine& engine);
 
  private:
+  enum class Kind : std::uint8_t { Span, Instant, FlowBegin, FlowEnd };
+
   struct Event {
     int tid;
     std::string name;
     des::Time ts;
-    des::Duration dur;  // < 0: instant event
+    des::Duration dur;  // spans only
+    Kind kind;
+    std::uint64_t flow_id;  // flow events only
   };
 
   int tid_for(std::string_view track);
+  bool admit();  // false (and counts a drop) once the buffer is full
 
   TraceConfig cfg_;
   std::vector<Event> events_;
   std::vector<std::string> tracks_;  // tid -> name
   std::unordered_map<std::string, int> tids_;
+  std::uint64_t dropped_ = 0;
   bool written_ = false;
 };
 

@@ -131,6 +131,90 @@ TEST_P(RtBackends, MakespanScalesDownWithWorkers) {
   EXPECT_LT(t8, t1);
 }
 
+TEST_P(RtBackends, StageHistogramsTelescopeToE2eLatency) {
+  RtWorld w(4, GetParam());
+  WavefrontGraph graph(8, 4);
+  Runtime rt(w.eng, w.fab, w.comm, graph);
+  rt.run();
+  const auto agg = rt.aggregate_stats();
+  ASSERT_GT(agg.latency.count(), 0u);
+  // Every delivery contributes one sample to each of the seven e2e stages
+  // (zero-valued for the stages a control-only record skips), so stage
+  // counts track the e2e count exactly.
+  for (int s = 0; s < amt::kE2eStages; ++s) {
+    const auto& h = agg.stages.h[static_cast<std::size_t>(s)];
+    EXPECT_EQ(h.count(), agg.latency.count()) << amt::kStageNames[s];
+    EXPECT_GE(h.min(), 0.0) << amt::kStageNames[s];
+  }
+  // Telescoping: consecutive stage timestamps share endpoints, so under
+  // identity clocks the stage means sum to the e2e mean to fp rounding.
+  const double e2e = agg.latency.e2e_mean_ns();
+  EXPECT_NEAR(agg.stages.e2e_stage_mean_sum_ns(), e2e, 1e-6 * e2e);
+}
+
+TEST_P(RtBackends, MtActivateShrinksTheQueueStage) {
+  auto run_cfg = [&](bool mt) {
+    RtWorld w(4, GetParam());
+    WavefrontGraph graph(10, 4);
+    RuntimeConfig cfg;
+    cfg.mt_activate = mt;
+    Runtime rt(w.eng, w.fab, w.comm, graph, cfg);
+    rt.run();
+    return rt.aggregate_stats();
+  };
+  const auto agg = run_cfg(false);
+  const auto mt = run_cfg(true);
+  const double q_agg = agg.stages[amt::Stage::Queue].mean();
+  const double q_mt = mt.stages[amt::Stage::Queue].mean();
+  // Aggregation makes records wait for the comm thread's flush; workers
+  // sending directly (§6.4.3) all but eliminates that queueing stage.
+  EXPECT_GT(q_agg, 0.0);
+  EXPECT_LT(q_mt, q_agg * 0.5);
+  // And the queue stage is where the aggregation-mode latency hides: its
+  // gain carries a major share of the total e2e improvement.  (Downstream
+  // stages such as transfer can improve too — earlier sends decongest the
+  // wire — so require a share, not strict per-stage dominance.)
+  const double e2e_gain = agg.latency.e2e_mean_ns() - mt.latency.e2e_mean_ns();
+  EXPECT_GT(e2e_gain, 0.0);
+  EXPECT_GE(q_agg - q_mt, 0.25 * e2e_gain);
+}
+
+TEST_P(RtBackends, CriticalPathIsConsistentAndDeterministic) {
+  auto run_once = [&]() {
+    RtWorld w(4, GetParam());
+    WavefrontGraph graph(8, 4);
+    Runtime rt(w.eng, w.fab, w.comm, graph);
+    const des::Duration makespan = rt.run();
+    return std::make_pair(rt.aggregate_stats(), makespan);
+  };
+  const auto [a, span_a] = run_once();
+  ASSERT_TRUE(a.crit.seen);
+  // Invariant: the chain sums reconstruct the final task's finish time
+  // exactly, and the chain fits inside the run.
+  EXPECT_EQ(a.crit.sums.total(), a.crit.finish_g);
+  EXPECT_LE(a.crit.finish_g, span_a);
+  EXPECT_GT(a.crit.sums.tasks, 1u);       // spans multiple tasks
+  EXPECT_GT(a.crit.sums.compute, 0);
+  EXPECT_GT(a.crit.sums.comm, 0);         // wavefront crosses nodes
+  EXPECT_GE(a.crit.sums.overhead, 0);
+  // Bit-identical across reruns of the same seed (acceptance criterion).
+  const auto [b, span_b] = run_once();
+  EXPECT_EQ(span_a, span_b);
+  EXPECT_EQ(a.crit.finish_g, b.crit.finish_g);
+  EXPECT_EQ(a.crit.sums.compute, b.crit.sums.compute);
+  EXPECT_EQ(a.crit.sums.comm, b.crit.sums.comm);
+  EXPECT_EQ(a.crit.sums.overhead, b.crit.sums.overhead);
+  EXPECT_EQ(a.crit.sums.tasks, b.crit.sums.tasks);
+  EXPECT_TRUE(a.crit.last == b.crit.last);
+  // Stage histograms are deterministic too: same counts and exact sums.
+  for (int s = 0; s < amt::kNumStages; ++s) {
+    const auto& ha = a.stages.h[static_cast<std::size_t>(s)];
+    const auto& hb = b.stages.h[static_cast<std::size_t>(s)];
+    EXPECT_EQ(ha.count(), hb.count()) << amt::kStageNames[s];
+    EXPECT_DOUBLE_EQ(ha.sum(), hb.sum()) << amt::kStageNames[s];
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Backends, RtBackends,
                          ::testing::Values(BackendKind::Mpi,
                                            BackendKind::Lci),

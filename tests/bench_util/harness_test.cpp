@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/trace.hpp"  // json_parse_ok
+
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -256,6 +258,63 @@ TEST(TableCsv, NoFileWithoutEnv) {
   { bench::Table t("nocsv", {"a"}); }
   std::ifstream in("nocsv.csv");
   EXPECT_FALSE(in.good());
+}
+
+// -- AMTLCE_METRICS export + stage/critical-path plumbing -----------------
+
+TEST(Metrics, ExportDisabledWithoutEnv) {
+  ::unsetenv("AMTLCE_METRICS");
+  EXPECT_FALSE(bench::export_metrics_env());
+}
+
+TEST(Metrics, ExportWritesParsableJsonOfAccumulator) {
+  bench::metrics_accumulator().histogram("test.export_ns").add(123.0);
+  const std::string path = "metrics_export_test.json";
+  ::setenv("AMTLCE_METRICS", path.c_str(), 1);
+  EXPECT_TRUE(bench::export_metrics_env());
+  ::unsetenv("AMTLCE_METRICS");
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream ss;
+  ss << in.rdbuf();
+  std::remove(path.c_str());
+  EXPECT_TRUE(obs::json_parse_ok(ss.str())) << ss.str();
+  EXPECT_NE(ss.str().find("\"test.export_ns\""), std::string::npos);
+}
+
+TEST(PingPong, PopulatesStagesCriticalPathAndAccumulator) {
+  bench::PingPongOptions opts;
+  opts.fragment_bytes = 64 << 10;
+  opts.total_bytes = 256 << 10;
+  opts.iterations = 2;
+  const auto r = bench::run_pingpong(ce::BackendKind::Lci, opts);
+  // The telescoping stage decomposition covers every recorded arrival.
+  ASSERT_GT(r.latency.count(), 0u);
+  for (int s = 0; s < amt::kE2eStages; ++s) {
+    EXPECT_EQ(r.stages.h[static_cast<std::size_t>(s)].count(),
+              r.latency.count())
+        << amt::kStageNames[static_cast<std::size_t>(s)];
+  }
+  const double e2e = r.latency.e2e_mean_ns();
+  EXPECT_NEAR(r.stages.e2e_stage_mean_sum_ns(), e2e, 1e-6 * e2e);
+  // Critical path: consistent sums and a printable line.
+  ASSERT_TRUE(r.crit.seen);
+  EXPECT_EQ(r.crit.sums.total(), r.crit.finish_g);
+  const std::string line = bench::critical_path_line(r.crit);
+  EXPECT_NE(line.find("critical path:"), std::string::npos);
+  EXPECT_NE(line.find("compute"), std::string::npos);
+  // Every run folds its metrics into the process accumulator, including
+  // the amt.lat.* stage histograms.
+  const auto* h =
+      bench::metrics_accumulator().find_histogram("amt.lat.stage.queue_ns");
+  ASSERT_NE(h, nullptr);
+  EXPECT_GT(h->count(), 0u);
+}
+
+TEST(CriticalPathLine, UnseenPathPrintsPlaceholder) {
+  const amt::CriticalPath cp;
+  EXPECT_EQ(bench::critical_path_line(cp),
+            "critical path: (no tasks observed)");
 }
 
 }  // namespace

@@ -3,7 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <string>
 #include <vector>
+
+#include "obs/trace.hpp"  // json_parse_ok
 
 namespace {
 
@@ -151,6 +154,82 @@ TEST(Histogram, HugeValuesSaturateLastOctave) {
   EXPECT_DOUBLE_EQ(h.max(), 1e301);
   EXPECT_LE(h.p99(), 1e301);
   EXPECT_GE(h.p50(), 1e300);  // clamped to observed min
+}
+
+TEST(Histogram, PercentilesClampAtExactBucketBoundaries) {
+  // Powers of two sit exactly on octave boundaries; clamping must keep
+  // every percentile inside [min, max] even there.
+  Histogram h;
+  h.add(2.0);
+  h.add(4.0);
+  h.add(8.0);
+  // p0 lands in the lowest occupied bucket [2, 2.25); p100 interpolates
+  // past 8 within its bucket and must be clamped back to the observed max.
+  EXPECT_GE(h.percentile(0), 2.0);
+  EXPECT_LT(h.percentile(0), 2.25);
+  EXPECT_DOUBLE_EQ(h.percentile(100), 8.0);
+  for (double p = 0; p <= 100; p += 1.0) {
+    const double q = h.percentile(p);
+    EXPECT_GE(q, 2.0) << "p=" << p;
+    EXPECT_LE(q, 8.0) << "p=" << p;
+  }
+}
+
+TEST(Histogram, MergeEmptyIntoNonemptyAndBack) {
+  Histogram filled, empty;
+  filled.add(10);
+  filled.add(1000);
+  // empty -> nonempty: a no-op that must not disturb min/max/percentiles.
+  const double p0 = filled.percentile(0);
+  const double p100 = filled.percentile(100);
+  filled.merge(empty);
+  EXPECT_EQ(filled.count(), 2u);
+  EXPECT_DOUBLE_EQ(filled.min(), 10);
+  EXPECT_DOUBLE_EQ(filled.max(), 1000);
+  EXPECT_DOUBLE_EQ(filled.percentile(0), p0);
+  EXPECT_DOUBLE_EQ(filled.percentile(100), p100);
+  EXPECT_GE(p0, 10);
+  EXPECT_LE(p100, 1000);
+  // nonempty -> empty: the empty side adopts the distribution wholesale.
+  empty.merge(filled);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.min(), 10);
+  EXPECT_DOUBLE_EQ(empty.max(), 1000);
+  EXPECT_DOUBLE_EQ(empty.p50(), filled.p50());
+}
+
+TEST(MetricsJson, EmitsParsableJsonWithAllMetricKinds) {
+  Recorder r;
+  r.counter("ce.puts").add(7);
+  r.gauge("queue.depth").set(2);
+  r.gauge("queue.depth").set(5);
+  r.histogram("lat_ns").add(100);
+  r.histogram("lat_ns").add(300);
+  const std::string j = obs::metrics_json(r);
+  EXPECT_TRUE(obs::json_parse_ok(j)) << j;
+  EXPECT_NE(j.find("\"ce.puts\": 7"), std::string::npos);
+  EXPECT_NE(j.find("\"queue.depth\""), std::string::npos);
+  EXPECT_NE(j.find("\"lat_ns\""), std::string::npos);
+  EXPECT_NE(j.find("\"count\": 2"), std::string::npos);
+  EXPECT_NE(j.find("\"mean\": 200"), std::string::npos);
+}
+
+TEST(MetricsJson, EscapesHostileNamesAndIsDeterministic) {
+  const auto build = [] {
+    Recorder r;
+    r.counter("weird \"name\"\\with\njunk").add(1);
+    r.histogram("h").add(3.5);
+    return r;
+  };
+  const Recorder a = build();
+  const std::string ja = obs::metrics_json(a);
+  EXPECT_TRUE(obs::json_parse_ok(ja)) << ja;
+  // Identical recorders must render byte-identically (sorted iteration).
+  EXPECT_EQ(ja, obs::metrics_json(build()));
+}
+
+TEST(MetricsJson, EmptyRecorderIsValid) {
+  EXPECT_TRUE(obs::json_parse_ok(obs::metrics_json(Recorder{})));
 }
 
 TEST(Recorder, CreatesOnUseAndFinds) {

@@ -99,6 +99,65 @@ TEST(Tracer, WriteProducesParsableFile) {
   std::remove(path.c_str());
 }
 
+TEST(Tracer, FlowEventsRenderAsChromeFlowPairs) {
+  Tracer t(TraceConfig{});
+  t.span("comm-0", "send", 1000, 500);
+  t.flow("comm-0", "activate", 1200, 0xABCDu, /*begin=*/true);
+  t.span("comm-1", "recv", 5000, 700);
+  t.flow("comm-1", "activate", 5100, 0xABCDu, /*begin=*/false);
+  const std::string j = t.json();
+  EXPECT_TRUE(json_parse_ok(j)) << j;
+  EXPECT_NE(j.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(j.find("\"ph\":\"f\""), std::string::npos);
+  // The finish end binds to the enclosing slice (bp:"e"), and both ends
+  // carry the matching id in the "flow" category.
+  EXPECT_NE(j.find("\"bp\":\"e\""), std::string::npos);
+  EXPECT_NE(j.find("\"cat\":\"flow\""), std::string::npos);
+  EXPECT_NE(j.find("\"id\":43981"), std::string::npos);  // 0xABCD
+}
+
+TEST(Tracer, BoundedBufferCountsDroppedEvents) {
+  TraceConfig cfg;
+  cfg.max_events = 3;
+  Tracer t(cfg);
+  t.span("a", "s1", 0, 1);
+  t.instant("a", "i1", 2);
+  t.flow("a", "f1", 3, 7, true);
+  EXPECT_EQ(t.num_events(), 3u);
+  EXPECT_EQ(t.dropped_events(), 0u);
+  t.span("a", "s2", 4, 1);  // over the cap
+  t.flow("a", "f1", 5, 7, false);
+  EXPECT_EQ(t.num_events(), 3u);
+  EXPECT_EQ(t.dropped_events(), 2u);
+  const std::string j = t.json();
+  EXPECT_TRUE(json_parse_ok(j)) << j;
+  EXPECT_NE(j.find("\"droppedEvents\":2"), std::string::npos);
+  EXPECT_NE(j.find("\"maxEvents\":3"), std::string::npos);
+}
+
+TEST(Tracer, DefaultCapReportsZeroDrops) {
+  Tracer t(TraceConfig{});
+  t.span("a", "s", 0, 1);
+  EXPECT_EQ(t.dropped_events(), 0u);
+  EXPECT_NE(t.json().find("\"droppedEvents\":0"), std::string::npos);
+}
+
+TEST(TraceConfig, MaxEventsFromEnv) {
+  ::setenv("AMTLCE_TRACE", "cap_test.json", 1);
+  ::setenv("AMTLCE_TRACE_MAX_EVENTS", "12345", 1);
+  EXPECT_EQ(TraceConfig::from_env().max_events, 12345u);
+  ::setenv("AMTLCE_TRACE_MAX_EVENTS", "0", 1);  // nonsense: keep default
+  EXPECT_EQ(TraceConfig::from_env().max_events,
+            TraceConfig::kDefaultMaxEvents);
+  ::setenv("AMTLCE_TRACE_MAX_EVENTS", "banana", 1);
+  EXPECT_EQ(TraceConfig::from_env().max_events,
+            TraceConfig::kDefaultMaxEvents);
+  ::unsetenv("AMTLCE_TRACE_MAX_EVENTS");
+  EXPECT_EQ(TraceConfig::from_env().max_events,
+            TraceConfig::kDefaultMaxEvents);
+  ::unsetenv("AMTLCE_TRACE");
+}
+
 TEST(TraceConfig, DisabledWithoutEnv) {
   ::unsetenv("AMTLCE_TRACE");
   EXPECT_FALSE(TraceConfig::from_env().enabled());
