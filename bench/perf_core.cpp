@@ -1,0 +1,411 @@
+// Core-runtime perf-regression harness (not a paper figure).
+//
+// Measures the DES hot path after the slab-queue/pooled-message overhaul
+// and guards it against regressions:
+//
+//   * schedule_pop     — steady-state schedule+pop throughput of the slab
+//                        EventQueue vs. the pre-overhaul implementation
+//                        (unordered_map callback store, std::function),
+//                        preserved verbatim in perf_core_baseline.*.  Also
+//                        counts heap allocations per event in steady state
+//                        — the slab path must stay at zero.
+//   * cancel_heavy     — the network model's churn pattern: every event is
+//                        cancelled (or rescheduled) before it fires.
+//   * fabric_throughput— chained 8-byte fabric sends through the full
+//                        engine + NIC pipes, wall-clock messages/sec and
+//                        steady-state allocations per message (payload
+//                        pool + delivery records + inline callbacks).
+//   * fig4_reduced     — wall-clock of a reduced fig-4 cell (4 nodes,
+//                        N=36,000, nb=3,000, Model mode, LCI backend):
+//                        end-to-end sanity that micro-wins survive the
+//                        full stack.
+//
+// Emits BENCH_core.json (see --out).  --smoke shrinks iteration counts
+// for CI; timing numbers from smoke runs are schema fodder, not data.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <type_traits>
+
+#include "des/engine.hpp"
+#include "des/event_queue.hpp"
+#include "des/inplace_callback.hpp"
+#include "hicma/driver.hpp"
+#include "net/fabric.hpp"
+#include "perf_core_baseline.hpp"
+
+// ---------------------------------------------------------------------------
+// Global allocation counter.  Every operator new in the process bumps it,
+// so "allocations per event" is a hard number, not an estimate.
+
+namespace {
+std::atomic<std::uint64_t> g_allocs{0};
+}  // namespace
+
+void* operator new(std::size_t n) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n)) return p;
+  throw std::bad_alloc{};
+}
+void* operator new[](std::size_t n) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n)) return p;
+  throw std::bad_alloc{};
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace {
+
+std::uint64_t allocs_now() { return g_allocs.load(std::memory_order_relaxed); }
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+// ---------------------------------------------------------------------------
+// Benchmarks.  Each workload is identical across queue implementations:
+// same ring size, same capture size (two pointers — the fabric delivery
+// closure shape), same op sequence.
+
+struct QueueBenchResult {
+  double events_per_sec = 0;
+  double allocs_per_event = 0;
+};
+
+// Each queue carries the delivery closure its era actually scheduled, so
+// the comparison is hot path vs. hot path, not container vs. container.
+//
+// Pre-overhaul, Fabric::do_send captured the full Message (wire header +
+// payload handle + route) in every delivery lambda — far past
+// std::function's ~16-byte SSO, so each schedule paid a heap cell on top
+// of the queue's own map node.  Post-overhaul the message parks in a
+// pooled record and the closure is two pointers, inline in
+// InplaceCallback.
+struct LegacyDeliveryShape {
+  std::uint64_t* sink;
+  std::uint64_t hdr[8];    // WireHeader stand-in
+  std::uint64_t route[4];  // src, dst, wire_bytes, hops
+  void operator()() const { *sink += hdr[0] + route[3]; }
+};
+static_assert(sizeof(LegacyDeliveryShape) > 16, "must overflow SSO");
+
+struct PooledDeliveryShape {
+  std::uint64_t* sink;
+  const void* record;  // the pooled Delivery* in production
+  void operator()() const {
+    *sink += reinterpret_cast<std::uintptr_t>(record) & 1u;
+  }
+};
+static_assert(sizeof(PooledDeliveryShape) <= des::InplaceCallback::kInlineBytes);
+
+// Schedule-delta mix, replayed deterministically from the measured
+// distribution of (fire_time - now) across every schedule in a 4-node
+// Model-mode TLR Cholesky run: p10 25 ns (NIC msg-rate gap), p50 675 ns,
+// p75 1 us (wire latency), p90 63 us, p99 80 ms (timers).  Heterogeneous
+// deltas land new events throughout the heap, the way real traffic does —
+// a monotone pattern would let every insert park at a leaf and understate
+// the heap work both queues pay.
+constexpr des::Time kScheduleDeltas[16] = {25,   25,   25,    25,    50,    50,
+                                           675,  675,  675,   675,   1000,  1000,
+                                           1000, 63366, 63366, 80413426};
+
+template <typename Queue, typename Shape>
+QueueBenchResult bench_schedule_pop(std::size_t ring, std::size_t ops) {
+  Queue q;
+  std::uint64_t sink = 0;
+  const Shape cb = [&sink] {
+    if constexpr (std::is_same_v<Shape, LegacyDeliveryShape>) {
+      return LegacyDeliveryShape{&sink, {1, 2, 3, 4, 5, 6, 7, 8}, {0, 1, 8, 2}};
+    } else {
+      return PooledDeliveryShape{&sink, &sink};
+    }
+  }();
+  for (std::size_t i = 0; i < ring; ++i) {
+    q.schedule(static_cast<des::Time>(i * 100), cb);
+  }
+  // Warm-up lap: slab free lists, map buckets, heap capacity all settle.
+  for (std::size_t i = 0; i < ring; ++i) {
+    auto fired = q.pop();
+    q.schedule(fired.time + kScheduleDeltas[i & 15], cb);
+  }
+  const std::uint64_t a0 = allocs_now();
+  const auto t0 = Clock::now();
+  for (std::size_t i = 0; i < ops; ++i) {
+    auto fired = q.pop();
+    fired.fn();
+    q.schedule(fired.time + kScheduleDeltas[i & 15], cb);
+  }
+  const double elapsed = seconds_since(t0);
+  const std::uint64_t a1 = allocs_now();
+  while (!q.empty()) q.pop();
+  volatile std::uint64_t observe = sink;  // keep the callbacks' work alive
+  (void)observe;
+  QueueBenchResult r;
+  r.events_per_sec = static_cast<double>(ops) / elapsed;
+  r.allocs_per_event = static_cast<double>(a1 - a0) / static_cast<double>(ops);
+  return r;
+}
+
+// RTO-timer closure shape, identical in both eras: {channel, dst, seq}.
+// 24 bytes — already past std::function's SSO, inline for the slab.
+struct TimerShape {
+  std::uint64_t* sink;
+  std::uint32_t dst;
+  std::uint64_t seq;
+  void operator()() const { *sink += dst + seq; }
+};
+
+template <typename Queue>
+QueueBenchResult bench_cancel_heavy(std::size_t ring, std::size_t ops) {
+  Queue q;
+  std::uint64_t sink = 0;
+  const TimerShape cb{&sink, 3, 41};
+  // Long-lived anchors keep the heap honest (compaction has survivors).
+  for (std::size_t i = 0; i < ring; ++i) {
+    q.schedule(static_cast<des::Time>(1'000'000'000 + i), cb);
+  }
+  for (std::size_t i = 0; i < ring; ++i) {  // warm-up lap
+    auto id = q.schedule(static_cast<des::Time>(i), cb);
+    q.cancel(id);
+  }
+  const std::uint64_t a0 = allocs_now();
+  const auto t0 = Clock::now();
+  for (std::size_t i = 0; i < ops; ++i) {
+    auto id = q.schedule(static_cast<des::Time>(i), cb);
+    q.cancel(id);
+  }
+  const double elapsed = seconds_since(t0);
+  const std::uint64_t a1 = allocs_now();
+  while (!q.empty()) q.pop();
+  volatile std::uint64_t observe = sink;  // keep the callbacks' work alive
+  (void)observe;
+  QueueBenchResult r;
+  // One schedule + one cancel per iteration.
+  r.events_per_sec = static_cast<double>(2 * ops) / elapsed;
+  r.allocs_per_event =
+      static_cast<double>(a1 - a0) / static_cast<double>(2 * ops);
+  return r;
+}
+
+struct FabricBenchResult {
+  double msgs_per_sec = 0;
+  double allocs_per_msg = 0;
+  double sim_seconds = 0;
+};
+
+// Chained sends: the next message leaves when the previous one clears the
+// egress pipe, so the in-flight population — and therefore the pooled
+// resources exercised — stays small and steady.
+FabricBenchResult bench_fabric_throughput(std::size_t msgs) {
+  des::Engine eng;
+  net::FabricConfig cfg;
+  cfg.link_bandwidth_Bps = 10e9;
+  cfg.wire_latency = 1000;
+  cfg.per_hop_latency = 0;
+  cfg.nodes_per_switch = 1024;
+  cfg.nic_msg_rate = 10e6;
+  net::Fabric fab(eng, 2, cfg);
+  std::uint64_t received = 0;
+  fab.nic(1).set_deliver_handler([&](net::Message&&) { ++received; });
+
+  struct Sender {
+    net::Fabric* fab;
+    std::size_t remaining;
+    void send_one() {
+      net::Message m;
+      m.src = 0;
+      m.dst = 1;
+      m.wire_bytes = 8;
+      net::Fabric* const f = fab;
+      f->nic(0).send(std::move(m), [this] {
+        if (--remaining > 0) send_one();
+      });
+    }
+  };
+
+  // Warm-up pass populates the delivery-record arena and payload pool.
+  Sender warm{&fab, std::min<std::size_t>(msgs, 1000)};
+  warm.send_one();
+  eng.run();
+
+  Sender s{&fab, msgs};
+  const des::Time sim0 = eng.now();
+  const std::uint64_t a0 = allocs_now();
+  const auto t0 = Clock::now();
+  s.send_one();
+  eng.run();
+  const double elapsed = seconds_since(t0);
+  const std::uint64_t a1 = allocs_now();
+  FabricBenchResult r;
+  r.msgs_per_sec = static_cast<double>(msgs) / elapsed;
+  r.allocs_per_msg = static_cast<double>(a1 - a0) / static_cast<double>(msgs);
+  r.sim_seconds = static_cast<double>(eng.now() - sim0) / 1e9;
+  if (received == 0) std::fprintf(stderr, "fabric bench delivered nothing\n");
+  return r;
+}
+
+struct Fig4Result {
+  double wall_s = 0;
+  double tts_s = 0;
+  double msgs = 0;
+};
+
+Fig4Result bench_fig4_reduced() {
+  hicma::ExperimentConfig cfg;
+  cfg.nodes = 4;
+  cfg.backend = ce::BackendKind::Lci;
+  cfg.mt_activate = false;
+  cfg.tlr.mode = hicma::TlrOptions::Mode::Model;
+  cfg.tlr.n = 36000;
+  cfg.tlr.nb = 3000;
+  (void)hicma::run_tlr_cholesky(cfg);  // warm-up (pools, code paths)
+  const auto t0 = Clock::now();
+  const auto res = hicma::run_tlr_cholesky(cfg);
+  Fig4Result r;
+  r.wall_s = seconds_since(t0);
+  r.tts_s = res.tts_s;
+  r.msgs = static_cast<double>(res.fabric_messages);
+  return r;
+}
+
+void json_field(std::FILE* f, const char* key, double v, bool last = false) {
+  std::fprintf(f, "    \"%s\": %.17g%s\n", key, v, last ? "" : ",");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out = "BENCH_core.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--out FILE]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  // In-flight event population, sampled every 100 us of simulated time
+  // across a 4-node Model-mode TLR Cholesky run: mean 9, peak 28.  A ring
+  // of 64 covers that peak with headroom; inflating it further would just
+  // let heap-sift costs (common to both queues) drown the per-event fixed
+  // costs this benchmark exists to compare.
+  const std::size_t ring = 64;
+  const std::size_t ops = smoke ? 50'000 : 1'000'000;
+  const std::size_t fab_msgs = smoke ? 20'000 : 200'000;
+  // Best-of-N over INTERLEAVED slab/legacy reps: wall-clock on a shared
+  // machine is noisy, the fastest rep is the closest estimate of the
+  // code's intrinsic cost, and alternating the two queues rep-by-rep
+  // keeps a load spike from taxing only one side of the ratio.
+  const int reps = smoke ? 1 : 15;
+
+  std::printf("perf_core (%s mode)\n", smoke ? "smoke" : "full");
+
+  const auto best_of2 = [reps](auto&& measure_a, auto&& measure_b) {
+    std::pair<QueueBenchResult, QueueBenchResult> best{measure_a(),
+                                                       measure_b()};
+    for (int r = 1; r < reps; ++r) {
+      const QueueBenchResult a = measure_a();
+      const QueueBenchResult b = measure_b();
+      if (a.events_per_sec > best.first.events_per_sec) best.first = a;
+      if (b.events_per_sec > best.second.events_per_sec) best.second = b;
+    }
+    return best;
+  };
+
+  const auto [slab_sp, legacy_sp] = best_of2(
+      [&] {
+        return bench_schedule_pop<des::EventQueue, PooledDeliveryShape>(ring,
+                                                                        ops);
+      },
+      [&] {
+        return bench_schedule_pop<baseline::EventQueue, LegacyDeliveryShape>(
+            ring, ops);
+      });
+  std::printf(
+      "schedule_pop   : slab %.3g ev/s (%.3g allocs/ev), legacy %.3g ev/s "
+      "(%.3g allocs/ev), speedup %.2fx\n",
+      slab_sp.events_per_sec, slab_sp.allocs_per_event,
+      legacy_sp.events_per_sec, legacy_sp.allocs_per_event,
+      slab_sp.events_per_sec / legacy_sp.events_per_sec);
+
+  const auto [slab_ch, legacy_ch] = best_of2(
+      [&] { return bench_cancel_heavy<des::EventQueue>(ring, ops); },
+      [&] { return bench_cancel_heavy<baseline::EventQueue>(ring, ops); });
+  std::printf(
+      "cancel_heavy   : slab %.3g op/s (%.3g allocs/op), legacy %.3g op/s "
+      "(%.3g allocs/op), speedup %.2fx\n",
+      slab_ch.events_per_sec, slab_ch.allocs_per_event,
+      legacy_ch.events_per_sec, legacy_ch.allocs_per_event,
+      slab_ch.events_per_sec / legacy_ch.events_per_sec);
+
+  const auto fabr = bench_fabric_throughput(fab_msgs);
+  std::printf("fabric         : %.3g msg/s wall (%.3g allocs/msg)\n",
+              fabr.msgs_per_sec, fabr.allocs_per_msg);
+
+  const auto fig4 = bench_fig4_reduced();
+  std::printf("fig4_reduced   : wall %.3f s, tts %.6f s, %.0f msgs\n",
+              fig4.wall_s, fig4.tts_s, fig4.msgs);
+
+  std::FILE* f = std::fopen(out.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", out.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"perf_core\",\n");
+  std::fprintf(f, "  \"schema_version\": 1,\n");
+  std::fprintf(f, "  \"mode\": \"%s\",\n", smoke ? "smoke" : "full");
+  std::fprintf(f, "  \"schedule_pop\": {\n");
+  json_field(f, "ops", static_cast<double>(ops));
+  json_field(f, "ring", static_cast<double>(ring));
+  json_field(f, "events_per_sec", slab_sp.events_per_sec);
+  json_field(f, "legacy_events_per_sec", legacy_sp.events_per_sec);
+  json_field(f, "speedup", slab_sp.events_per_sec / legacy_sp.events_per_sec);
+  json_field(f, "steady_state_allocs_per_event", slab_sp.allocs_per_event);
+  json_field(f, "legacy_allocs_per_event", legacy_sp.allocs_per_event, true);
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"cancel_heavy\": {\n");
+  json_field(f, "ops", static_cast<double>(2 * ops));
+  json_field(f, "events_per_sec", slab_ch.events_per_sec);
+  json_field(f, "legacy_events_per_sec", legacy_ch.events_per_sec);
+  json_field(f, "speedup", slab_ch.events_per_sec / legacy_ch.events_per_sec);
+  json_field(f, "steady_state_allocs_per_event", slab_ch.allocs_per_event);
+  json_field(f, "legacy_allocs_per_event", legacy_ch.allocs_per_event, true);
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"fabric_throughput\": {\n");
+  json_field(f, "messages", static_cast<double>(fab_msgs));
+  json_field(f, "msgs_per_sec", fabr.msgs_per_sec);
+  json_field(f, "allocs_per_msg", fabr.allocs_per_msg);
+  json_field(f, "sim_seconds", fabr.sim_seconds, true);
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"fig4_reduced\": {\n");
+  json_field(f, "nodes", 4);
+  json_field(f, "n", 36000);
+  json_field(f, "nb", 3000);
+  json_field(f, "wall_s", fig4.wall_s);
+  json_field(f, "tts_s", fig4.tts_s);
+  json_field(f, "messages", fig4.msgs, true);
+  std::fprintf(f, "  }\n");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", out.c_str());
+  return 0;
+}

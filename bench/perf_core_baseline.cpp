@@ -1,0 +1,70 @@
+// Pre-overhaul EventQueue implementation, verbatim from the original
+// src/des/event_queue.cpp (namespace aside).  See perf_core_baseline.hpp
+// for why this lives in its own translation unit.
+#include "perf_core_baseline.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace baseline {
+namespace {
+
+/// Below this heap size compaction is not worth the re-heapify.
+constexpr std::size_t kCompactMinHeap = 64;
+
+}  // namespace
+
+EventId EventQueue::schedule(des::Time t, Callback fn) {
+  const EventId id = next_id_++;
+  heap_.push_back(Entry{t, next_seq_++, id});
+  std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
+  callbacks_.emplace(id, std::move(fn));
+  ++live_count_;
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) {
+  const auto it = callbacks_.find(id);
+  if (it == callbacks_.end()) return false;
+  callbacks_.erase(it);
+  --live_count_;
+  maybe_compact();
+  return true;
+}
+
+void EventQueue::maybe_compact() {
+  if (heap_.size() < kCompactMinHeap || heap_.size() <= 2 * live_count_) {
+    return;
+  }
+  std::erase_if(heap_,
+                [this](const Entry& e) { return !callbacks_.contains(e.id); });
+  std::make_heap(heap_.begin(), heap_.end(), std::greater<>{});
+}
+
+void EventQueue::drop_dead_front() {
+  while (!heap_.empty() && !callbacks_.contains(heap_.front().id)) {
+    std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+    heap_.pop_back();
+  }
+}
+
+des::Time EventQueue::next_time() {
+  drop_dead_front();
+  return heap_.empty() ? des::kTimeNever : heap_.front().time;
+}
+
+EventQueue::Fired EventQueue::pop() {
+  drop_dead_front();
+  assert(!heap_.empty() && "pop() on empty EventQueue");
+  const Entry e = heap_.front();
+  std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+  heap_.pop_back();
+  auto it = callbacks_.find(e.id);
+  Fired fired{e.time, e.id, std::move(it->second)};
+  callbacks_.erase(it);
+  --live_count_;
+  return fired;
+}
+
+}  // namespace baseline

@@ -1,0 +1,67 @@
+// The pre-overhaul des::EventQueue, preserved verbatim (modulo namespace)
+// as the perf_core regression baseline: a binary heap of (time, seq, id)
+// entries over an unordered_map<EventId, std::function> callback store.
+// Every schedule pays a map-node allocation (plus a std::function cell
+// once the capture outgrows its ~16-byte SSO); every pop pays hash
+// lookups and an erase.
+//
+// Deliberately implemented in its own translation unit
+// (perf_core_baseline.cpp), exactly as the original event_queue.cpp was:
+// the pre-overhaul queue ran behind a call boundary, and inlining it into
+// the benchmark loop would flatter it by ~40% relative to the artifact
+// that actually shipped.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "des/time.hpp"
+
+namespace baseline {
+
+using EventId = std::uint64_t;
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  EventId schedule(des::Time t, Callback fn);
+  bool cancel(EventId id);
+
+  bool empty() const { return live_count_ == 0; }
+  std::size_t size() const { return live_count_; }
+  std::size_t heap_size() const { return heap_.size(); }
+
+  des::Time next_time();
+
+  struct Fired {
+    des::Time time;
+    EventId id;
+    Callback fn;
+  };
+  Fired pop();
+
+ private:
+  struct Entry {
+    des::Time time;
+    std::uint64_t seq;  // tie-break: FIFO among equal timestamps
+    EventId id;
+    bool operator>(const Entry& o) const {
+      if (time != o.time) return time > o.time;
+      return seq > o.seq;
+    }
+  };
+
+  void drop_dead_front();
+  void maybe_compact();
+
+  std::vector<Entry> heap_;  // min-heap via std::greater
+  std::unordered_map<EventId, Callback> callbacks_;
+  std::uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+  std::size_t live_count_ = 0;
+};
+
+}  // namespace baseline

@@ -1,0 +1,83 @@
+# ctest script behind the "perf"-labeled perf_core_smoke test: runs the
+# perf_core harness in smoke mode and validates the emitted
+# BENCH_core.json against the schema EXPERIMENTS.md documents.  Smoke-mode
+# timing numbers are not checked against thresholds — wall-clock on a
+# loaded CI machine is noise — only the shape and basic sanity of the
+# report are.  Invoked as:
+#   cmake -DPERF_CORE=<binary> -DOUT_JSON=<path> -P perf_smoke.cmake
+cmake_minimum_required(VERSION 3.19)  # string(JSON)
+
+if(NOT DEFINED PERF_CORE OR NOT DEFINED OUT_JSON)
+  message(FATAL_ERROR "usage: cmake -DPERF_CORE=... -DOUT_JSON=... -P perf_smoke.cmake")
+endif()
+
+execute_process(
+  COMMAND "${PERF_CORE}" --smoke --out "${OUT_JSON}"
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE run_out
+  ERROR_VARIABLE run_err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "perf_core --smoke failed (rc=${rc}):\n${run_out}\n${run_err}")
+endif()
+
+file(READ "${OUT_JSON}" doc)
+
+# Scalar header fields.
+string(JSON bench ERROR_VARIABLE err GET "${doc}" bench)
+if(err OR NOT bench STREQUAL "perf_core")
+  message(FATAL_ERROR "BENCH_core.json: bad 'bench' field: ${bench} ${err}")
+endif()
+string(JSON schema ERROR_VARIABLE err GET "${doc}" schema_version)
+if(err OR NOT schema EQUAL 1)
+  message(FATAL_ERROR "BENCH_core.json: bad 'schema_version': ${schema} ${err}")
+endif()
+string(JSON mode ERROR_VARIABLE err GET "${doc}" mode)
+if(err OR NOT mode STREQUAL "smoke")
+  message(FATAL_ERROR "BENCH_core.json: bad 'mode': ${mode} ${err}")
+endif()
+
+# Every benchmark section must exist with its numeric fields; throughput
+# numbers must be positive and alloc counts non-negative.
+function(check_number section field)
+  string(JSON v ERROR_VARIABLE err GET "${doc}" ${section} ${field})
+  if(err)
+    message(FATAL_ERROR "BENCH_core.json: missing ${section}.${field}: ${err}")
+  endif()
+  if(v LESS 0)
+    message(FATAL_ERROR "BENCH_core.json: ${section}.${field} negative: ${v}")
+  endif()
+  set(checked_value "${v}" PARENT_SCOPE)
+endfunction()
+
+function(check_positive section field)
+  check_number(${section} ${field})
+  if(NOT checked_value GREATER 0)
+    message(FATAL_ERROR "BENCH_core.json: ${section}.${field} not positive: ${checked_value}")
+  endif()
+endfunction()
+
+foreach(section schedule_pop cancel_heavy)
+  check_positive(${section} events_per_sec)
+  check_positive(${section} legacy_events_per_sec)
+  check_positive(${section} speedup)
+  check_number(${section} steady_state_allocs_per_event)
+  check_number(${section} legacy_allocs_per_event)
+endforeach()
+check_positive(fabric_throughput msgs_per_sec)
+check_number(fabric_throughput allocs_per_msg)
+check_positive(fabric_throughput sim_seconds)
+check_positive(fig4_reduced wall_s)
+check_positive(fig4_reduced tts_s)
+check_positive(fig4_reduced messages)
+
+# The structural guarantee — zero steady-state heap allocations per event
+# in the slab queue — is deterministic (an allocation counter, not a
+# timer), so smoke mode can assert it.
+string(JSON allocs GET "${doc}" schedule_pop steady_state_allocs_per_event)
+if(allocs GREATER 0)
+  message(FATAL_ERROR
+    "slab queue allocated on the steady-state schedule/pop path: "
+    "${allocs} allocs/event (expected 0)")
+endif()
+
+message(STATUS "perf_core smoke OK: ${OUT_JSON}")

@@ -446,7 +446,12 @@ int LciBackend::drain_retries() {
 }
 
 void LciBackend::arm_retry_timer() {
-  if (retry_timer_ != des::kInvalidEvent) eng_.cancel(retry_timer_);
+  // Push a still-pending timer out in place; only a fired/cleared timer
+  // needs a fresh event.
+  if (retry_timer_ != des::kInvalidEvent &&
+      eng_.reschedule(retry_timer_, retry_next_at_)) {
+    return;
+  }
   retry_timer_ = eng_.schedule_at(retry_next_at_, [this]() {
     retry_timer_ = des::kInvalidEvent;
     wake_comm_thread();

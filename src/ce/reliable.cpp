@@ -170,6 +170,13 @@ void ReliableChannel::arm_timer(net::NodeId dst, std::uint64_t seq) {
     delay = static_cast<des::Duration>(static_cast<double>(delay) *
                                        rng_.uniform(1.0, 1.0 + j));
   }
+  // Reschedule a still-pending timer in place (the NACK fast-retransmit
+  // path): the callback stays parked in its event slot, no cancel
+  // tombstone, no new slot.  A fired timer needs a fresh event.
+  if (u.timer != des::kInvalidEvent &&
+      eng_.reschedule(u.timer, eng_.now() + delay)) {
+    return;
+  }
   u.timer = eng_.schedule_after(
       delay, [this, dst, seq]() { on_timer(dst, seq); });
 }
@@ -178,8 +185,15 @@ void ReliableChannel::on_timer(net::NodeId dst, std::uint64_t seq) {
   auto& peer = unacked_[static_cast<std::size_t>(dst)];
   const auto it = peer.find(seq);
   if (it == peer.end()) return;  // ACKed between firing and dispatch
+  it->second.timer = des::kInvalidEvent;
+  expire(dst, seq);
+}
+
+void ReliableChannel::expire(net::NodeId dst, std::uint64_t seq) {
+  auto& peer = unacked_[static_cast<std::size_t>(dst)];
+  const auto it = peer.find(seq);
+  assert(it != peer.end());
   Unacked& u = it->second;
-  u.timer = des::kInvalidEvent;
 
   if (u.attempts - 1 >= domain_.cfg_.max_retries) {
     // Retry budget exhausted: give up recoverably.
@@ -187,6 +201,7 @@ void ReliableChannel::on_timer(net::NodeId dst, std::uint64_t seq) {
     if (domain_.rec_ != nullptr) {
       domain_.rec_->counter("ce.rel.timeouts").add();
     }
+    if (u.timer != des::kInvalidEvent) eng_.cancel(u.timer);
     const DeliveryErrorCallback& cb = domain_.on_error_;
     peer.erase(it);
     if (cb) cb(node_, dst, seq, Status::ErrTimeout);
@@ -237,12 +252,9 @@ void ReliableChannel::on_control(const net::Message& m) {
 
   if (m.hdr.kind == kRelNack) {
     // The receiver saw this frame arrive corrupted: retransmit right away
-    // (still charged against the retry budget via the timer path).
-    if (u.timer != des::kInvalidEvent) {
-      eng_.cancel(u.timer);
-      u.timer = des::kInvalidEvent;
-    }
-    on_timer(m.src, m.hdr.imm[0]);
+    // (still charged against the retry budget).  The pending RTO timer is
+    // kept and pushed out in place by arm_timer, not cancelled.
+    expire(m.src, m.hdr.imm[0]);
     return;
   }
 

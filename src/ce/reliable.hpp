@@ -116,6 +116,10 @@ class ReliableChannel final : public net::LinkShim {
                 std::function<void()> on_sent);
   void arm_timer(net::NodeId dst, std::uint64_t seq);
   void on_timer(net::NodeId dst, std::uint64_t seq);
+  /// Shared RTO-expiry logic: retransmit (or give up) for (dst, seq).
+  /// Reached from a fired timer (on_timer) or a NACK (timer still
+  /// pending — arm_timer then reschedules it in place).
+  void expire(net::NodeId dst, std::uint64_t seq);
   void send_control(net::NodeId dst, std::uint16_t kind, std::uint64_t seq);
   void on_control(const net::Message& m);
   bool note_received(net::NodeId src, std::uint64_t seq);  ///< false = dup

@@ -27,20 +27,32 @@ class Engine {
   /// Current simulated time.
   Time now() const { return now_; }
 
-  /// Schedules `fn` at absolute time `t` (>= now()).
-  EventId schedule_at(Time t, std::function<void()> fn) {
+  /// Schedules `fn` at absolute time `t` (>= now()).  Accepts any
+  /// void() callable, forwarded straight into the queue's slab slot; small
+  /// captures stay heap-free (des::InplaceCallback).
+  template <typename F>
+  EventId schedule_at(Time t, F&& fn) {
     assert(t >= now_ && "cannot schedule into the past");
-    return queue_.schedule(t, std::move(fn));
+    return queue_.schedule(t, std::forward<F>(fn));
   }
 
   /// Schedules `fn` after `d` nanoseconds of simulated time.
-  EventId schedule_after(Duration d, std::function<void()> fn) {
+  template <typename F>
+  EventId schedule_after(Duration d, F&& fn) {
     assert(d >= 0);
-    return schedule_at(now_ + d, std::move(fn));
+    return schedule_at(now_ + d, std::forward<F>(fn));
   }
 
   /// Cancels a pending event; returns false if already fired/cancelled.
   bool cancel(EventId id) { return queue_.cancel(id); }
+
+  /// Moves a pending event to absolute time `t` (>= now()), keeping its
+  /// callback — cancel + schedule without the churn.  Returns false if the
+  /// event already fired or was cancelled.
+  bool reschedule(EventId id, Time t) {
+    assert(t >= now_ && "cannot reschedule into the past");
+    return queue_.reschedule(id, t);
+  }
 
   /// Fires the next event.  Returns false when no events remain.
   bool step() {

@@ -1,70 +1,25 @@
 #include "des/event_queue.hpp"
 
 #include <algorithm>
-#include <cassert>
-#include <utility>
 
 namespace des {
-namespace {
 
-/// Below this heap size compaction is not worth the re-heapify.
-constexpr std::size_t kCompactMinHeap = 64;
+// Cold path: the amortized tombstone sweep.  Hot-path methods (schedule,
+// pop, cancel, reschedule) live inline in the header — they are the
+// simulator's innermost loop.
 
-}  // namespace
-
-EventId EventQueue::schedule(Time t, Callback fn) {
-  const EventId id = next_id_++;
-  heap_.push_back(Entry{t, next_seq_++, id});
-  std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
-  callbacks_.emplace(id, std::move(fn));
-  ++live_count_;
-  return id;
+void EventQueue::compact() {
+  // The (time, seq) order of surviving entries is untouched, so pop order
+  // — and therefore simulation determinism — is unaffected.
+  std::erase_if(heap_, [this](const Entry& e) { return !entry_live(e); });
+  heap_rebuild();
 }
 
-bool EventQueue::cancel(EventId id) {
-  const auto it = callbacks_.find(id);
-  if (it == callbacks_.end()) return false;
-  callbacks_.erase(it);
-  --live_count_;
-  maybe_compact();
-  return true;
-}
-
-void EventQueue::maybe_compact() {
-  // Sweep when dead entries exceed half the heap (live < dead).  The
-  // (time, seq) order of surviving entries is untouched, so pop order —
-  // and therefore simulation determinism — is unaffected.
-  if (heap_.size() < kCompactMinHeap || heap_.size() <= 2 * live_count_) {
-    return;
+void EventQueue::heap_rebuild() {
+  if (heap_.size() < 2) return;
+  for (std::size_t i = (heap_.size() - 2) / kHeapArity + 1; i-- > 0;) {
+    sift_down(i);
   }
-  std::erase_if(heap_,
-                [this](const Entry& e) { return !callbacks_.contains(e.id); });
-  std::make_heap(heap_.begin(), heap_.end(), std::greater<>{});
-}
-
-void EventQueue::drop_dead_front() {
-  while (!heap_.empty() && !callbacks_.contains(heap_.front().id)) {
-    std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
-    heap_.pop_back();
-  }
-}
-
-Time EventQueue::next_time() {
-  drop_dead_front();
-  return heap_.empty() ? kTimeNever : heap_.front().time;
-}
-
-EventQueue::Fired EventQueue::pop() {
-  drop_dead_front();
-  assert(!heap_.empty() && "pop() on empty EventQueue");
-  const Entry e = heap_.front();
-  std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
-  heap_.pop_back();
-  auto it = callbacks_.find(e.id);
-  Fired fired{e.time, e.id, std::move(it->second)};
-  callbacks_.erase(it);
-  --live_count_;
-  return fired;
 }
 
 }  // namespace des

@@ -1,39 +1,65 @@
-// Cancellable time-ordered event queue.
+// Cancellable time-ordered event queue — generation-tagged slot slab.
 //
 // Events with equal timestamps fire in insertion order (FIFO), which the
-// rest of the simulator relies on for determinism.  Cancellation is O(1)
-// via tombstoning: cancelled entries stay in the heap and are skipped when
-// popped.  This suits the network model, which reschedules in-flight
-// transfer completions when link occupancy changes — but cancel-heavy
-// workloads would grow the heap without bound, so the queue compacts
-// (sweeps tombstones and re-heapifies) whenever dead entries outnumber
-// live ones.  Compaction preserves the (time, seq) total order exactly.
+// rest of the simulator relies on for determinism.  Callbacks live inline
+// in a slab of reusable slots (free-list recycled, generation-tagged so a
+// stale EventId can never touch a reused slot), so the steady-state
+// schedule/pop cycle performs zero heap allocations: no per-event
+// unordered_map node, no std::function cell.
+//
+// Cancellation is O(1) amortized via tombstoning: a cancelled (or
+// rescheduled) event's heap entry stays behind and is skipped when it
+// surfaces.  Tombstones are swept — and the heap rebuilt, preserving the
+// (time, seq) total order exactly — whenever dead entries outnumber live
+// ones; the sweep is triggered from schedule(), cancel(), AND pop(), so
+// any operation mix (not just cancel storms) keeps heap_size() within a
+// constant factor of size().  Each O(heap) sweep removes >= heap/2 dead
+// entries, each of which took at least one O(log n) operation to create,
+// so the sweep cost amortizes to O(1) per operation.
+//
+// reschedule() moves a pending event to a new time in place: the callback
+// stays in its slot, the old heap entry becomes a tombstone, and the event
+// behaves exactly as if it had been cancelled and re-scheduled at the new
+// time (fresh FIFO seq) — minus the callback teardown and slot churn.
 #pragma once
 
+#include <algorithm>
+#include <cassert>
 #include <cstdint>
-#include <functional>
-#include <unordered_map>
 #include <vector>
 
+#include "des/inplace_callback.hpp"
 #include "des/time.hpp"
 
 namespace des {
 
-/// Identifies a scheduled event; valid until the event fires or is cancelled.
+/// Identifies a scheduled event; valid until the event fires or is
+/// cancelled.  Encodes (generation << 32 | slot + 1) so ids of fired or
+/// cancelled events are never confused with the slot's next tenant.
 using EventId = std::uint64_t;
 inline constexpr EventId kInvalidEvent = 0;
 
 class EventQueue {
  public:
-  using Callback = std::function<void()>;
+  using Callback = InplaceCallback;
 
   /// Schedules `fn` to fire at absolute time `t`.  `t` must not precede the
-  /// last popped event time (enforced by Engine, not here).
-  EventId schedule(Time t, Callback fn);
+  /// last popped event time (enforced by Engine, not here).  Accepts any
+  /// void() callable and constructs it directly in the slab slot (no
+  /// intermediate Callback hop).  Defined inline below: schedule/pop are
+  /// the simulator's innermost loop and must inline into callers.
+  template <typename F>
+  AMTLCE_DES_HOT_INLINE EventId schedule(Time t, F&& fn);
 
   /// Cancels a pending event.  Returns false if the id is unknown or the
   /// event already fired.
-  bool cancel(EventId id);
+  AMTLCE_DES_HOT_INLINE bool cancel(EventId id);
+
+  /// Moves a pending event to absolute time `t`, keeping its callback.
+  /// Equivalent to cancel + schedule of the same callback (the event gets
+  /// a fresh FIFO position among equal timestamps) without the slot and
+  /// callback churn.  Returns false if the id is unknown or already fired.
+  AMTLCE_DES_HOT_INLINE bool reschedule(EventId id, Time t);
 
   bool empty() const { return live_count_ == 0; }
   std::size_t size() const { return live_count_; }
@@ -42,8 +68,12 @@ class EventQueue {
   /// within a constant factor of size()).
   std::size_t heap_size() const { return heap_.size(); }
 
+  /// Slots in the slab, live or free (for tests: bounded by peak live
+  /// events, not by total events ever scheduled).
+  std::size_t slab_size() const { return slots_.size(); }
+
   /// Time of the earliest pending event, or kTimeNever when empty.
-  Time next_time();
+  AMTLCE_DES_HOT_INLINE Time next_time();
 
   /// Pops and returns the earliest pending event.  Precondition: !empty().
   struct Fired {
@@ -51,27 +81,228 @@ class EventQueue {
     EventId id;
     Callback fn;
   };
-  Fired pop();
+  AMTLCE_DES_HOT_INLINE Fired pop();
 
  private:
-  struct Entry {
-    Time time;
-    std::uint64_t seq;  // tie-break: FIFO among equal timestamps
-    EventId id;
-    bool operator>(const Entry& o) const {
-      if (time != o.time) return time > o.time;
-      return seq > o.seq;
-    }
+  static constexpr std::uint32_t kNoFree = 0xFFFFFFFFu;
+
+  struct Slot {
+    Callback fn;
+    Time time = 0;            ///< currently scheduled fire time
+    std::uint64_t heap_key = 0;  ///< key of the slot's live heap entry
+    std::uint32_t gen = 0;    ///< bumped on release; part of the EventId
+    std::uint32_t next_free = kNoFree;
+    bool live = false;
   };
 
-  void drop_dead_front();
-  void maybe_compact();
+  /// Heap entries are 16 bytes so a full 4-ary node (4 children) spans a
+  /// single cache line.  `key` packs the FIFO sequence number into the
+  /// high 40 bits and the slot index into the low 24: comparing keys
+  /// orders by seq (seq is globally unique, so the slot bits never
+  /// decide), and the seq doubles as the liveness token — a heap entry is
+  /// live iff its key still equals its slot's heap_key.  Limits: 2^24
+  /// (16.7M) concurrent events, 2^40 (1.1e12) schedules per queue
+  /// lifetime; both are orders of magnitude beyond any simulation here
+  /// (the slot limit is asserted on slab growth, a cold path).
+  static constexpr std::uint64_t kSlotBits = 24;
+  static constexpr std::uint64_t kSlotMask = (1ull << kSlotBits) - 1;
 
-  std::vector<Entry> heap_;  // min-heap via std::greater
-  std::unordered_map<EventId, Callback> callbacks_;
+  struct Entry {
+    Time time;
+    std::uint64_t key;  // seq << kSlotBits | slot
+    bool operator>(const Entry& o) const {
+      if (time != o.time) return time > o.time;
+      return key > o.key;  // high bits are the FIFO seq
+    }
+  };
+  static_assert(sizeof(Entry) == 16, "4 children must fit one cache line");
+
+  static std::uint32_t slot_of(EventId id) {
+    return static_cast<std::uint32_t>(id & 0xFFFFFFFFu) - 1;
+  }
+  static std::uint32_t gen_of(EventId id) {
+    return static_cast<std::uint32_t>(id >> 32);
+  }
+  static EventId make_id(std::uint32_t slot, std::uint32_t gen) {
+    return (static_cast<EventId>(gen) << 32) |
+           (static_cast<EventId>(slot) + 1);
+  }
+
+  /// The slot behind `id`, or null when the id is invalid, stale, or the
+  /// event already fired / was cancelled.
+  AMTLCE_DES_HOT_INLINE Slot* live_slot(EventId id) {
+    const auto low = static_cast<std::uint32_t>(id & 0xFFFFFFFFu);
+    if (low == 0 || low > slots_.size()) return nullptr;
+    Slot& s = slots_[low - 1];
+    if (!s.live || s.gen != gen_of(id)) return nullptr;
+    return &s;
+  }
+
+  /// True when a heap entry still represents its slot's scheduled state
+  /// (not a cancel/reschedule tombstone).  The key's seq bits are unique
+  /// per schedule/reschedule, so key equality alone proves the entry is
+  /// the slot's current tenant.
+  AMTLCE_DES_HOT_INLINE bool entry_live(const Entry& e) const {
+    const Slot& s = slots_[e.key & kSlotMask];
+    return s.live && s.heap_key == e.key;
+  }
+
+  /// Returns a slot to the free list (callback destroyed, generation
+  /// bumped so outstanding ids to it go stale).
+  AMTLCE_DES_HOT_INLINE void release(std::uint32_t idx) {
+    Slot& s = slots_[idx];
+    s.fn.reset();
+    s.live = false;
+    ++s.gen;  // outstanding ids to this slot are now stale
+    s.next_free = free_head_;
+    free_head_ = idx;
+  }
+
+  AMTLCE_DES_HOT_INLINE void drop_dead_front() {
+    while (!heap_.empty() && !entry_live(heap_.front())) {
+      heap_pop_front();
+    }
+  }
+
+  /// Sweeps tombstones when dead entries exceed half the heap (live <
+  /// dead).  Called from schedule/cancel/pop/reschedule alike, so the
+  /// heap-size bound holds for every operation mix and each O(heap) sweep
+  /// amortizes to O(1) per operation.  The threshold check is inline (hot
+  /// path); the sweep itself is out of line.
+  AMTLCE_DES_HOT_INLINE void maybe_compact() {
+    if (heap_.size() < kCompactMinHeap || heap_.size() <= 2 * live_count_) {
+      return;
+    }
+    compact();
+  }
+  void compact();
+
+  // 4-ary min-heap on (time, seq): half the depth of a binary heap and
+  // sibling entries share cache lines, which matters on the pop-heavy DES
+  // loop.  Arity changes nothing about pop order.
+  static constexpr std::size_t kHeapArity = 4;
+  static constexpr std::size_t kCompactMinHeap = 64;
+
+  AMTLCE_DES_HOT_INLINE void sift_up(std::size_t i) {
+    const Entry e = heap_[i];
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / kHeapArity;
+      if (!(heap_[parent] > e)) break;
+      heap_[i] = heap_[parent];
+      i = parent;
+    }
+    heap_[i] = e;
+  }
+
+  AMTLCE_DES_HOT_INLINE void sift_down(std::size_t i) {
+    const Entry e = heap_[i];
+    const std::size_t n = heap_.size();
+    for (;;) {
+      const std::size_t first = kHeapArity * i + 1;
+      if (first >= n) break;
+      std::size_t best = first;
+      if (first + kHeapArity <= n) {
+        // Full node — constant trip count, which the compiler unrolls.
+        for (std::size_t c = first + 1; c < first + kHeapArity; ++c) {
+          if (heap_[best] > heap_[c]) best = c;
+        }
+      } else {
+        for (std::size_t c = first + 1; c < n; ++c) {
+          if (heap_[best] > heap_[c]) best = c;
+        }
+      }
+      if (!(e > heap_[best])) break;
+      heap_[i] = heap_[best];
+      i = best;
+    }
+    heap_[i] = e;
+  }
+
+  AMTLCE_DES_HOT_INLINE void heap_push(const Entry& e) {
+    heap_.push_back(e);
+    sift_up(heap_.size() - 1);
+  }
+
+  AMTLCE_DES_HOT_INLINE void heap_pop_front() {
+    heap_.front() = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty()) sift_down(0);
+  }
+
+  void heap_rebuild();
+
+  std::vector<Entry> heap_;  // 4-ary min-heap, see kHeapArity
+  std::vector<Slot> slots_;  // the slab; EventIds index into it
+  std::uint32_t free_head_ = kNoFree;
   std::uint64_t next_seq_ = 0;
-  EventId next_id_ = 1;
   std::size_t live_count_ = 0;
 };
+
+template <typename F>
+EventId EventQueue::schedule(Time t, F&& fn) {
+  std::uint32_t idx;
+  if (free_head_ != kNoFree) {
+    idx = free_head_;
+    free_head_ = slots_[idx].next_free;
+  } else {
+    idx = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+    assert(idx <= kSlotMask && "slot index exceeds Entry packing");
+  }
+  Slot& s = slots_[idx];
+  s.fn = std::forward<F>(fn);  // constructed in place for raw callables
+  s.time = t;
+  // No overflow guard on the 40-bit seq: at simulator rates (~3e7
+  // events/sec) it would take >10 wall-clock hours to exhaust, orders of
+  // magnitude past any run here, and the check would tax every schedule.
+  const std::uint64_t key = (next_seq_++ << kSlotBits) | idx;
+  s.heap_key = key;
+  s.live = true;
+  heap_push(Entry{t, key});
+  ++live_count_;
+  maybe_compact();
+  return make_id(idx, s.gen);
+}
+
+inline bool EventQueue::cancel(EventId id) {
+  Slot* const s = live_slot(id);
+  if (s == nullptr) return false;
+  release(slot_of(id));  // the heap entry becomes a tombstone
+  --live_count_;
+  maybe_compact();
+  return true;
+}
+
+inline bool EventQueue::reschedule(EventId id, Time t) {
+  Slot* const s = live_slot(id);
+  if (s == nullptr) return false;
+  // The old heap entry goes stale (key mismatch); push a fresh one.  The
+  // event takes a new FIFO position, exactly as cancel + schedule would.
+  s->time = t;
+  const std::uint64_t key = (next_seq_++ << kSlotBits) | slot_of(id);
+  s->heap_key = key;
+  heap_push(Entry{t, key});
+  maybe_compact();
+  return true;
+}
+
+inline Time EventQueue::next_time() {
+  drop_dead_front();
+  return heap_.empty() ? kTimeNever : heap_.front().time;
+}
+
+inline EventQueue::Fired EventQueue::pop() {
+  drop_dead_front();
+  assert(!heap_.empty() && "pop() on empty EventQueue");
+  const Entry e = heap_.front();
+  heap_pop_front();
+  const auto idx = static_cast<std::uint32_t>(e.key & kSlotMask);
+  Slot& s = slots_[idx];
+  Fired fired{e.time, make_id(idx, s.gen), std::move(s.fn)};
+  release(idx);
+  --live_count_;
+  maybe_compact();
+  return fired;
+}
 
 }  // namespace des

@@ -15,7 +15,6 @@
 #include <cassert>
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -39,7 +38,7 @@ class SimThread {
   /// Enqueues a work item that occupies this thread for `cost` and then
   /// executes `fn`.  Items run in FIFO order.  `label` (a string with
   /// static lifetime) names the item's occupancy span when tracing is on.
-  void post_work(Duration cost, std::function<void()> fn,
+  void post_work(Duration cost, EventQueue::Callback fn,
                  const char* label = nullptr) {
     assert(cost >= 0);
     queue_.push_back(Item{cost, std::move(fn), label});
@@ -47,7 +46,7 @@ class SimThread {
   }
 
   /// Enqueues a zero-cost item (bookkeeping that is modeled as free).
-  void post(std::function<void()> fn) { post_work(0, std::move(fn)); }
+  void post(EventQueue::Callback fn) { post_work(0, std::move(fn)); }
 
   /// From inside a running item: occupies the thread for `extra` more time
   /// before the next item may start.
@@ -88,43 +87,51 @@ class SimThread {
  private:
   struct Item {
     Duration cost;
-    std::function<void()> fn;
+    EventQueue::Callback fn;
     const char* label = nullptr;
   };
 
+  // Only one item is in flight per thread, so the dispatched item parks in
+  // running_ and the scheduled closure captures just `this` — it always
+  // fits InplaceCallback's inline storage, keeping the per-item event
+  // allocation-free even when the item's own fn carries a large capture.
   void pump() {
     if (dispatch_pending_ || in_item_ || queue_.empty()) return;
     dispatch_pending_ = true;
-    Item item = std::move(queue_.front());
+    running_ = std::move(queue_.front());
     queue_.pop_front();
-    const Time start = std::max(eng_.now(), free_at_);
-    eng_.schedule_at(start + item.cost,
-                     [this, start, cost = item.cost, label = item.label,
-                      fn = std::move(item.fn)]() {
-                       dispatch_pending_ = false;
-                       in_item_ = true;
-                       extra_charge_ = 0;
-                       SimThread* const prev = current_;
-                       current_ = this;
-                       fn();
-                       current_ = prev;
-                       in_item_ = false;
-                       free_at_ = eng_.now() + extra_charge_;
-                       busy_total_ += cost + extra_charge_;
-                       if (TraceSink* sink = eng_.trace_sink()) {
-                         const Duration occupied = cost + extra_charge_;
-                         if (occupied > 0) {
-                           sink->span(name_, label ? label : "work", start,
-                                      occupied);
-                         }
-                       }
-                       pump();
-                     });
+    running_start_ = std::max(eng_.now(), free_at_);
+    eng_.schedule_at(running_start_ + running_.cost,
+                     [this]() { run_item(); });
+  }
+
+  void run_item() {
+    Item item = std::move(running_);  // fn may post work and re-pump
+    dispatch_pending_ = false;
+    in_item_ = true;
+    extra_charge_ = 0;
+    SimThread* const prev = current_;
+    current_ = this;
+    item.fn();
+    current_ = prev;
+    in_item_ = false;
+    free_at_ = eng_.now() + extra_charge_;
+    busy_total_ += item.cost + extra_charge_;
+    if (TraceSink* sink = eng_.trace_sink()) {
+      const Duration occupied = item.cost + extra_charge_;
+      if (occupied > 0) {
+        sink->span(name_, item.label ? item.label : "work", running_start_,
+                   occupied);
+      }
+    }
+    pump();
   }
 
   Engine& eng_;
   std::string name_;
   std::deque<Item> queue_;
+  Item running_{};
+  Time running_start_ = 0;
   Time free_at_ = 0;
   Time created_at_ = 0;
   Duration busy_total_ = 0;

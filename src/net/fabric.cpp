@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "des/trace_sink.hpp"
+#include "net/payload_pool.hpp"
 
 namespace net {
 namespace {
@@ -31,9 +32,7 @@ void format_size(char* buf, std::size_t n, std::uint64_t bytes) {
 }  // namespace
 
 PayloadPtr make_payload(const void* data, std::size_t size) {
-  auto buf = std::make_shared<std::vector<std::byte>>(size);
-  if (size > 0) std::memcpy(buf->data(), data, size);
-  return buf;
+  return PayloadPool::global().acquire(data, size);
 }
 
 namespace {
@@ -159,6 +158,34 @@ void Fabric::count_fault(const char* name) {
   if (rec_ != nullptr) rec_->counter(name).add();
 }
 
+void Fabric::set_recorder(obs::Recorder* rec) {
+  rec_ = rec;
+  h_wire_transit_ = rec ? &rec->histogram("net.wire_transit_ns") : nullptr;
+  h_egress_wait_ = rec ? &rec->histogram("net.egress_wait_ns") : nullptr;
+  h_fault_delay_ = rec ? &rec->histogram("net.fault.delay_ns") : nullptr;
+}
+
+Fabric::Delivery* Fabric::acquire_delivery(Nic& dst, Message&& m) {
+  Delivery* d = delivery_free_;
+  if (d != nullptr) {
+    delivery_free_ = d->next_free;
+  } else {
+    delivery_arena_.push_back(std::make_unique<Delivery>());
+    d = delivery_arena_.back().get();
+  }
+  d->msg = std::move(m);
+  d->dst = &dst;
+  return d;
+}
+
+void Fabric::deliver_and_release(Delivery* d) {
+  Nic* const dst = d->dst;
+  Message msg = std::move(d->msg);  // leaves the record's payload ref null
+  d->next_free = delivery_free_;
+  delivery_free_ = d;  // recycled before dispatch: nested sends may reuse it
+  dst->dispatch(std::move(msg));
+}
+
 Fabric::FaultPlan Fabric::plan_faults(const Message& m,
                                       des::Time wire_entry) {
   const FaultConfig& f = cfg_.faults;
@@ -200,9 +227,10 @@ void Fabric::corrupt_in_flight(Message& m) {
   ++fault_stats_.corruptions;
   count_fault("net.fault.corruptions");
   if (m.payload != nullptr && !m.payload->empty()) {
-    // Payloads are shared immutable buffers: corrupt a private copy so the
-    // sender's bytes (and any retransmit of them) stay intact.
-    auto copy = std::make_shared<std::vector<std::byte>>(*m.payload);
+    // Payloads are shared immutable buffers: corrupt a private (pooled)
+    // copy so the sender's bytes (and any retransmit of them) stay intact.
+    auto copy = PayloadPool::global().acquire_mutable(m.payload->size());
+    std::memcpy(copy->data(), m.payload->data(), m.payload->size());
     const std::uint64_t bit = fault_rng_.below(copy->size() * 8);
     (*copy)[bit / 8] ^= static_cast<std::byte>(1u << (bit % 8));
     m.payload = std::move(copy);
@@ -225,18 +253,21 @@ void Fabric::do_send(Nic& src, Message m, Nic::SentHandler on_sent) {
 
   if (m.src == m.dst) {
     // Loopback: memory copy, no NIC pipe occupancy — and never faulted.
+    // Mirroring the NIC path, on_sent fires when the copy has left the
+    // sender (send buffer reusable), not at delivery: delivery trails it
+    // by the loopback latency.
     const des::Duration copy =
         des::transfer_time(m.wire_bytes, cfg_.loopback_bandwidth_Bps);
-    const des::Time done = now + cfg_.loopback_latency + copy;
-    if (rec_ != nullptr) {
-      rec_->histogram("net.wire_transit_ns")
-          .add(static_cast<double>(done - now));
+    const des::Time sent = now + copy;
+    const des::Time done = sent + cfg_.loopback_latency;
+    if (h_wire_transit_ != nullptr) {
+      h_wire_transit_->add(static_cast<double>(done - now));
     }
-    eng_.schedule_at(done, [&dst, msg = std::move(m),
-                            cb = std::move(on_sent)]() mutable {
-      if (cb) cb();
-      dst.dispatch(std::move(msg));
-    });
+    if (on_sent) {
+      eng_.schedule_at(sent, std::move(on_sent));
+    }
+    Delivery* const d = acquire_delivery(dst, std::move(m));
+    eng_.schedule_at(done, [this, d]() { deliver_and_release(d); });
     return;
   }
 
@@ -277,9 +308,8 @@ void Fabric::do_send(Nic& src, Message m, Nic::SentHandler on_sent) {
   // injected jitter/spike).
   const des::Time available_at =
       egress_end + latency(m.src, m.dst) + plan.extra_latency;
-  if (plan.extra_latency > 0 && rec_ != nullptr) {
-    rec_->histogram("net.fault.delay_ns")
-        .add(static_cast<double>(plan.extra_latency));
+  if (plan.extra_latency > 0 && h_fault_delay_ != nullptr) {
+    h_fault_delay_->add(static_cast<double>(plan.extra_latency));
   }
 
   // Duplicate before corrupting: the injected copy models an independent
@@ -295,16 +325,17 @@ void Fabric::do_send(Nic& src, Message m, Nic::SentHandler on_sent) {
   const des::Time ingress_end = std::max(ingress_start + occ, available_at);
   dst.ingress_free_ = ingress_end;
 
-  if (rec_ != nullptr) {
+  // One cached observability check per message: histogram handles are
+  // pre-resolved by set_recorder, the trace sink is fetched once.
+  des::TraceSink* const sink = eng_.trace_sink();
+  if (h_egress_wait_ != nullptr) {
     // Queueing behind earlier messages on our own egress pipe, and the
     // first-byte-out to last-byte-in transit of this message.
-    rec_->histogram("net.egress_wait_ns")
-        .add(static_cast<double>(egress_start - now));
-    rec_->histogram("net.wire_transit_ns")
-        .add(static_cast<double>(ingress_end - egress_start));
+    h_egress_wait_->add(static_cast<double>(egress_start - now));
+    h_wire_transit_->add(static_cast<double>(ingress_end - egress_start));
   }
-  if (des::TraceSink* sink = eng_.trace_sink()) {
-    char label[48];
+  char label[48] = "";
+  if (sink != nullptr) {
     format_size(label, sizeof label, m.wire_bytes);
     char track[32];
     std::snprintf(track, sizeof track, "nic%d.egress", m.src);
@@ -313,21 +344,32 @@ void Fabric::do_send(Nic& src, Message m, Nic::SentHandler on_sent) {
     sink->span(track, label, ingress_start, ingress_end - ingress_start);
   }
 
-  eng_.schedule_at(ingress_end, [&dst, msg = std::move(m)]() mutable {
-    dst.dispatch(std::move(msg));
-  });
+  Delivery* const d = acquire_delivery(dst, std::move(m));
+  eng_.schedule_at(ingress_end, [this, d]() { deliver_and_release(d); });
 
   if (dup.has_value()) {
     // The duplicate trails the original through the same ingress pipe, so
-    // FIFO order per link is preserved: ... original, duplicate, ...
+    // FIFO order per link is preserved: ... original, duplicate, ...  The
+    // injected copy occupies the wire like any frame: it counts toward the
+    // fabric totals (keeping total == delivered + dropped), records its
+    // own transit, and emits its own ingress span.
     const des::Time dup_end = ingress_end + occ;
     dst.ingress_free_ = dup_end;
+    ++total_msgs_;
+    total_bytes_ += dup->wire_bytes;
     ++fault_stats_.dups;
     fault_stats_.dup_bytes += dup->wire_bytes;
     count_fault("net.fault.dups");
-    eng_.schedule_at(dup_end, [&dst, msg = std::move(*dup)]() mutable {
-      dst.dispatch(std::move(msg));
-    });
+    if (h_wire_transit_ != nullptr) {
+      h_wire_transit_->add(static_cast<double>(dup_end - egress_start));
+    }
+    if (sink != nullptr) {
+      char track[32];
+      std::snprintf(track, sizeof track, "nic%d.ingress", dup->dst);
+      sink->span(track, label, ingress_end, dup_end - ingress_end);
+    }
+    Delivery* const dd = acquire_delivery(dst, std::move(*dup));
+    eng_.schedule_at(dup_end, [this, dd]() { deliver_and_release(dd); });
   }
 }
 

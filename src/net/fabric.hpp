@@ -157,6 +157,8 @@ class Fabric {
     return skew_.at(static_cast<std::size_t>(node));
   }
 
+  /// Frames that entered the wire, including fault-injected duplicates —
+  /// so with faults on, total_messages() == delivered + fault drops.
   std::uint64_t total_messages() const { return total_msgs_; }
   std::uint64_t total_bytes() const { return total_bytes_; }
 
@@ -165,11 +167,26 @@ class Fabric {
 
   /// Attaches a metrics recorder ("net.wire_transit_ns",
   /// "net.egress_wait_ns").  Null detaches; the fabric does not own it.
-  void set_recorder(obs::Recorder* rec) { rec_ = rec; }
+  /// Resolves the per-message histograms once, so the send path never
+  /// pays a by-name lookup.
+  void set_recorder(obs::Recorder* rec);
   obs::Recorder* recorder() const { return rec_; }
 
  private:
   friend class Nic;
+
+  /// In-flight delivery record: the message parks here between schedule
+  /// and dispatch so the event closure captures two pointers (always
+  /// inline in des::InplaceCallback) instead of a whole Message.  Records
+  /// are free-list recycled — zero steady-state allocation per message.
+  struct Delivery {
+    Message msg;
+    Nic* dst = nullptr;
+    Delivery* next_free = nullptr;
+  };
+  Delivery* acquire_delivery(Nic& dst, Message&& m);
+  void deliver_and_release(Delivery* d);
+
   void do_send(Nic& src, Message m, Nic::SentHandler on_sent);
 
   /// Fault-injection decisions for one cross-node message, drawn in a
@@ -190,6 +207,13 @@ class Fabric {
   std::vector<std::unique_ptr<Nic>> nics_;
   std::vector<des::Duration> skew_;
   obs::Recorder* rec_ = nullptr;
+  // Cached handles into rec_ (stable: Recorder's maps are node-based),
+  // refreshed by set_recorder — one null check per sample, no name lookup.
+  obs::Histogram* h_wire_transit_ = nullptr;
+  obs::Histogram* h_egress_wait_ = nullptr;
+  obs::Histogram* h_fault_delay_ = nullptr;
+  std::vector<std::unique_ptr<Delivery>> delivery_arena_;
+  Delivery* delivery_free_ = nullptr;
   std::uint64_t total_msgs_ = 0;
   std::uint64_t total_bytes_ = 0;
   FaultStats fault_stats_;

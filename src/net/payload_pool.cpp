@@ -1,0 +1,36 @@
+#include "net/payload_pool.hpp"
+
+#include <cstring>
+
+namespace net {
+
+std::shared_ptr<std::vector<std::byte>> PayloadPool::acquire_mutable(
+    std::size_t size) {
+  const std::size_t n = pool_.size();
+  for (std::size_t probe = 0; probe < n; ++probe) {
+    const std::size_t i = (cursor_ + probe) % n;
+    if (pool_[i].use_count() == 1) {  // only the pool holds it: free
+      cursor_ = (i + 1) % n;
+      ++reused_;
+      pool_[i]->resize(size);
+      return pool_[i];
+    }
+  }
+  ++allocated_;
+  auto buf = std::make_shared<std::vector<std::byte>>(size);
+  if (pool_.size() < max_pooled_) pool_.push_back(buf);
+  return buf;
+}
+
+PayloadPtr PayloadPool::acquire(const void* data, std::size_t size) {
+  auto buf = acquire_mutable(size);
+  if (size > 0) std::memcpy(buf->data(), data, size);
+  return buf;
+}
+
+PayloadPool& PayloadPool::global() {
+  static PayloadPool pool;
+  return pool;
+}
+
+}  // namespace net

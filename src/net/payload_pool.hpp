@@ -1,0 +1,56 @@
+// Pooled payload-buffer allocator for the fabric hot path.
+//
+// Every real-payload message used to cost two heap allocations (the byte
+// vector plus its shared_ptr control block) at make_payload, and a third
+// pair when fault injection corrupted a private copy.  The pool recycles
+// whole shared_ptr<vector<byte>> cells instead: a buffer whose use_count
+// has fallen back to 1 (only the pool holds it) is resized and handed out
+// again, reusing both the vector's capacity and the original control
+// block.  Steady-state traffic with bounded in-flight payloads therefore
+// allocates nothing.
+//
+// Single-threaded by design, like the simulator that owns it.  Buffers are
+// handed out with unspecified contents; acquire() overwrites them fully.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/message.hpp"
+
+namespace net {
+
+class PayloadPool {
+ public:
+  /// `max_pooled` caps how many buffers the pool retains; beyond it,
+  /// buffers are plain allocations that die with their last reference.
+  explicit PayloadPool(std::size_t max_pooled = 256)
+      : max_pooled_(max_pooled) {}
+
+  /// An immutable payload of exactly `size` bytes copied from `data`
+  /// (which may be null when size == 0).
+  PayloadPtr acquire(const void* data, std::size_t size);
+
+  /// A mutable buffer of `size` bytes with unspecified contents; the
+  /// caller fills it and converts to PayloadPtr (implicit const add).
+  std::shared_ptr<std::vector<std::byte>> acquire_mutable(std::size_t size);
+
+  /// Hand-outs served by recycling a pooled buffer vs. fresh allocations.
+  std::uint64_t reused() const { return reused_; }
+  std::uint64_t allocated() const { return allocated_; }
+  std::size_t pooled() const { return pool_.size(); }
+
+  /// The process-wide pool behind net::make_payload.
+  static PayloadPool& global();
+
+ private:
+  std::vector<std::shared_ptr<std::vector<std::byte>>> pool_;
+  std::size_t cursor_ = 0;  ///< round-robin scan start
+  std::size_t max_pooled_;
+  std::uint64_t reused_ = 0;
+  std::uint64_t allocated_ = 0;
+};
+
+}  // namespace net

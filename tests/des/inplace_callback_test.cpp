@@ -1,0 +1,132 @@
+#include "des/inplace_callback.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace {
+
+using des::InplaceCallback;
+
+TEST(InplaceCallback, DefaultIsEmpty) {
+  InplaceCallback cb;
+  EXPECT_FALSE(cb);
+  InplaceCallback null_cb = nullptr;
+  EXPECT_FALSE(null_cb);
+}
+
+TEST(InplaceCallback, SmallCaptureStaysInline) {
+  int hits = 0;
+  InplaceCallback cb = [&hits] { ++hits; };
+  ASSERT_TRUE(cb);
+  EXPECT_TRUE(cb.is_inline());
+  cb();
+  cb();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(InplaceCallback, CaptureAtInlineBoundaryStaysInline) {
+  struct Exact {
+    std::array<std::byte, InplaceCallback::kInlineBytes> blob;
+    void operator()() {}
+  };
+  static_assert(sizeof(Exact) == InplaceCallback::kInlineBytes);
+  InplaceCallback cb = Exact{};
+  EXPECT_TRUE(cb.is_inline());
+}
+
+TEST(InplaceCallback, OversizedCaptureFallsBackToHeap) {
+  std::array<std::uint64_t, 12> blob{};
+  blob[11] = 42;
+  std::uint64_t got = 0;
+  InplaceCallback cb = [blob, &got] { got = blob[11]; };
+  ASSERT_TRUE(cb);
+  EXPECT_FALSE(cb.is_inline());
+  cb();
+  EXPECT_EQ(got, 42u);
+}
+
+TEST(InplaceCallback, MoveTransfersOwnership) {
+  int hits = 0;
+  InplaceCallback a = [&hits] { ++hits; };
+  InplaceCallback b = std::move(a);
+  EXPECT_FALSE(a);  // NOLINT(bugprone-use-after-move): testing moved-from state
+  ASSERT_TRUE(b);
+  b();
+  EXPECT_EQ(hits, 1);
+  InplaceCallback c;
+  c = std::move(b);
+  c();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(InplaceCallback, MoveOnlyCaptureWorks) {
+  auto owned = std::make_unique<int>(7);
+  int got = 0;
+  InplaceCallback cb = [p = std::move(owned), &got] { got = *p; };
+  InplaceCallback moved = std::move(cb);
+  moved();
+  EXPECT_EQ(got, 7);
+}
+
+TEST(InplaceCallback, DestructorRunsCaptureDestructors) {
+  auto counter = std::make_shared<int>(0);
+  {
+    InplaceCallback cb = [counter] { (void)counter; };
+    EXPECT_EQ(counter.use_count(), 2);
+  }
+  EXPECT_EQ(counter.use_count(), 1);
+  {
+    // Same check through the heap-cell path.
+    std::array<std::byte, 128> pad{};
+    InplaceCallback cb = [counter, pad] { (void)pad; };
+    EXPECT_FALSE(cb.is_inline());
+    EXPECT_EQ(counter.use_count(), 2);
+  }
+  EXPECT_EQ(counter.use_count(), 1);
+}
+
+TEST(InplaceCallback, ResetReleasesAndEmpties) {
+  auto counter = std::make_shared<int>(0);
+  InplaceCallback cb = [counter] { (void)counter; };
+  EXPECT_EQ(counter.use_count(), 2);
+  cb.reset();
+  EXPECT_FALSE(cb);
+  EXPECT_EQ(counter.use_count(), 1);
+}
+
+TEST(InplaceCallback, MoveAssignReplacesExisting) {
+  auto a = std::make_shared<int>(0);
+  auto b = std::make_shared<int>(0);
+  InplaceCallback cb = [a] { (void)a; };
+  cb = InplaceCallback([b] { (void)b; });
+  EXPECT_EQ(a.use_count(), 1);  // old capture destroyed on assignment
+  EXPECT_EQ(b.use_count(), 2);
+}
+
+TEST(InplaceCallback, HeapCellMoveDoesNotReallocate) {
+  // Moving a heap-fallback callback just relocates the cell pointer; the
+  // callable object itself must not be copied or re-created.
+  std::array<std::uint64_t, 16> blob{};
+  int constructions = 0;
+  struct Probe {
+    std::array<std::uint64_t, 16> pad;
+    int* count;
+    Probe(std::array<std::uint64_t, 16> p, int* c) : pad(p), count(c) { ++*count; }
+    Probe(const Probe& o) : pad(o.pad), count(o.count) { ++*count; }
+    Probe(Probe&& o) noexcept : pad(o.pad), count(o.count) { ++*count; }
+    void operator()() {}
+  };
+  InplaceCallback cb = Probe(blob, &constructions);
+  const int after_emplace = constructions;
+  InplaceCallback moved = std::move(cb);
+  InplaceCallback moved_again = std::move(moved);
+  EXPECT_EQ(constructions, after_emplace);  // pointer relocation only
+  moved_again();
+}
+
+}  // namespace

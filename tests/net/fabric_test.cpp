@@ -154,6 +154,37 @@ TEST(Fabric, LoopbackDelivers) {
   EXPECT_LT(delivered, 2 * des::kMicrosecond);
 }
 
+TEST(Fabric, LoopbackAndNicPathsAgreeOnSentSemantics) {
+  // on_sent means "the last byte left the sender; the send buffer is
+  // reusable" on BOTH paths.  The loopback path used to fire it at
+  // delivery time (after the loopback latency), overstating sender-side
+  // completion latency for self-sends.
+  Engine eng;
+  FabricConfig cfg = simple_config();
+  cfg.loopback_bandwidth_Bps = cfg.link_bandwidth_Bps;  // same serialization
+  cfg.loopback_latency = 5 * des::kMicrosecond;         // and a visible gap
+  Fabric fab(eng, 2, cfg);
+  des::Time loop_sent = -1, loop_delivered = -1;
+  des::Time wire_sent = -1, wire_delivered = -1;
+  fab.nic(0).set_deliver_handler([&](Message&&) { loop_delivered = eng.now(); });
+  fab.nic(1).set_deliver_handler([&](Message&&) { wire_delivered = eng.now(); });
+  const std::uint64_t bytes = 100000;  // 10 us at 10 GB/s: above msg-rate gap
+  fab.nic(0).send(msg(0, 0, bytes), [&]() { loop_sent = eng.now(); });
+  fab.nic(0).send(msg(0, 1, bytes), [&]() { wire_sent = eng.now(); });
+  eng.run();
+  // The loopback copy leaves the sender when its serialization finishes,
+  // exactly like the NIC path's egress — not at delivery.
+  const auto copy_time = des::transfer_time(bytes, cfg.loopback_bandwidth_Bps);
+  EXPECT_EQ(loop_sent, copy_time);
+  EXPECT_EQ(loop_delivered, loop_sent + cfg.loopback_latency);
+  EXPECT_LT(loop_sent, loop_delivered);
+  // NIC path for comparison: on_sent at egress_end, delivery later.  (The
+  // second send queued behind the loopback copy?  No: loopback skips the
+  // egress pipe, so the wire send's egress starts at t=0 too.)
+  EXPECT_EQ(wire_sent, fab.occupancy(bytes));
+  EXPECT_LT(wire_sent, wire_delivered);
+}
+
 TEST(Fabric, FatTreeHops) {
   Engine eng;
   FabricConfig cfg = simple_config();
