@@ -1,0 +1,271 @@
+// CommBench-style group-to-group microbenchmarks (Rail / Dense / Fan x
+// uni / bi / omni) run against the explicit-link fat tree, validated
+// against closed-form expectations of the cut-through fluid link model.
+//
+// Geometry follows CommBench: p nodes in M groups of g (one group per
+// leaf switch), the first k <= g nodes of each group form the active
+// subgroup.  Patterns between adjacent groups A -> B:
+//   Rail   subgroup node i of A sends to node i of B (k parallel rails)
+//   Dense  every subgroup node of A sends to every subgroup node of B
+//   Fan    node 0 of A sends to all k subgroup nodes of B
+// Directions:
+//   uni    A -> B only (A = group 0, B = group 1)
+//   bi     A -> B and B -> A simultaneously
+//   omni   directed ring: every group j -> group j+1 mod M, all at once
+//
+// The leaves are deliberately built with ONE uplink, so every cross-leaf
+// byte of a group serializes through a single 10 GB/s port and the
+// completion time has a pencil-and-paper answer (see expected_last()).
+// The bench asserts the simulated last-delivery time equals it to the
+// nanosecond, that full-duplex links make bi no slower than uni, that
+// ring parallelism makes omni no slower than uni, and that per-link
+// counters conserve messages.  Any mismatch exits non-zero, so the CI
+// smoke entry is a real model check, not a timing snapshot.
+//
+//   commbench_patterns [--smoke]
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util/harness.hpp"
+#include "des/engine.hpp"
+#include "net/fabric.hpp"
+#include "net/topology.hpp"
+
+namespace {
+
+enum class Pattern { Rail, Dense, Fan };
+enum class Direction { Uni, Bi, Omni };
+
+const char* pattern_name(Pattern p) {
+  switch (p) {
+    case Pattern::Rail: return "Rail";
+    case Pattern::Dense: return "Dense";
+    case Pattern::Fan: return "Fan";
+  }
+  return "?";
+}
+
+const char* direction_name(Direction d) {
+  switch (d) {
+    case Direction::Uni: return "uni";
+    case Direction::Bi: return "bi";
+    case Direction::Omni: return "omni";
+  }
+  return "?";
+}
+
+struct Geometry {
+  int groups;         ///< M leaf groups
+  int group_size;     ///< g nodes per leaf
+  int subgroup;       ///< k active nodes per group
+  std::uint64_t bytes;
+};
+
+// One-uplink leaves: all cross-leaf traffic of a group serializes on a
+// single port running at the node link rate, so congestion is exact.
+net::FabricConfig fabric_config(const Geometry& geo) {
+  net::FabricConfig cfg;
+  cfg.link_bandwidth_Bps = 10e9;  // 10 B/ns
+  cfg.wire_latency = 1000;
+  cfg.per_hop_latency = 100;
+  cfg.nic_msg_rate = 10e6;  // 100 ns message-rate floor << serialization
+  cfg.nodes_per_switch = geo.group_size;
+  cfg.topology.explicit_links = true;
+  cfg.topology.levels = {
+      net::TopologyLevel{geo.group_size, /*uplinks=*/1,
+                         /*uplink_bandwidth_Bps=*/10e9,
+                         /*switch_latency=*/-1},
+      net::TopologyLevel{},
+  };
+  return cfg;
+}
+
+struct Measured {
+  des::Time last_delivery = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t uplink_msgs = 0;  ///< boundary total, all leaves
+};
+
+// The (src, dst) flows of one pattern instance A -> B, in canonical
+// issue order.  Dense rounds form a Latin square (round r: i -> (i+r)
+// mod k) so every round targets k distinct destinations and arrival
+// times on the shared uplink are nondecreasing in issue order.
+void append_flows(Pattern p, const Geometry& geo, int group_a, int group_b,
+                  int round, std::vector<std::pair<int, int>>& flows) {
+  const int base_a = group_a * geo.group_size;
+  const int base_b = group_b * geo.group_size;
+  const int k = geo.subgroup;
+  switch (p) {
+    case Pattern::Rail:
+      if (round == 0) {
+        for (int i = 0; i < k; ++i) flows.emplace_back(base_a + i, base_b + i);
+      }
+      break;
+    case Pattern::Dense:
+      if (round < k) {
+        for (int i = 0; i < k; ++i) {
+          flows.emplace_back(base_a + i, base_b + (i + round) % k);
+        }
+      }
+      break;
+    case Pattern::Fan:
+      if (round == 0) {
+        for (int i = 0; i < k; ++i) flows.emplace_back(base_a, base_b + i);
+      }
+      break;
+  }
+}
+
+Measured run_case(Pattern p, Direction d, const Geometry& geo) {
+  const int nodes = geo.groups * geo.group_size;
+  des::Engine eng;
+  net::Fabric fab(eng, nodes, fabric_config(geo));
+
+  Measured m;
+  for (int n = 0; n < nodes; ++n) {
+    fab.nic(n).set_deliver_handler([&m, &eng](net::Message&&) {
+      ++m.delivered;
+      m.last_delivery = std::max(m.last_delivery, eng.now());
+    });
+  }
+
+  // Round-major issue order across all active group pairs: every flow is
+  // scheduled as its own t=0 event, so the engine's FIFO tie-break
+  // reproduces exactly this order at the NICs and uplinks.
+  std::vector<std::pair<int, int>> flows;
+  for (int round = 0; round < geo.subgroup; ++round) {
+    if (d == Direction::Omni) {
+      for (int j = 0; j < geo.groups; ++j) {
+        append_flows(p, geo, j, (j + 1) % geo.groups, round, flows);
+      }
+    } else {
+      append_flows(p, geo, 0, 1, round, flows);
+      if (d == Direction::Bi) append_flows(p, geo, 1, 0, round, flows);
+    }
+  }
+  for (const auto& [src, dst] : flows) {
+    eng.schedule_at(0, [&fab, src = src, dst = dst, bytes = geo.bytes] {
+      net::Message msg;
+      msg.src = src;
+      msg.dst = dst;
+      msg.wire_bytes = bytes;
+      fab.nic(src).raw_send(std::move(msg));
+    });
+  }
+  eng.run();
+  m.uplink_msgs = fab.topology().boundary_msgs_up(0);
+  return m;
+}
+
+struct Expectation {
+  des::Time last;           ///< exact last-delivery time, ns
+  std::uint64_t delivered;  ///< total messages
+};
+
+Expectation expected_last(Pattern p, Direction d, const Geometry& geo,
+                          const net::FabricConfig& cfg) {
+  // Single-flow-group timing under the cut-through fluid model with one
+  // uplink.  occ = NIC egress occupancy, ser = uplink re-serialization
+  // (equal here by construction); path = leaf + spine + leaf switch
+  // latencies; wire = first-byte wire latency.
+  const auto occ = std::max(
+      des::transfer_time(geo.bytes, cfg.link_bandwidth_Bps),
+      des::from_seconds(1.0 / cfg.nic_msg_rate));
+  const auto ser = des::transfer_time(
+      geo.bytes, cfg.topology.levels[0].uplink_bandwidth_Bps);
+  const des::Duration path = 3 * cfg.per_hop_latency;
+  const std::uint64_t k = static_cast<std::uint64_t>(geo.subgroup);
+
+  des::Time last = 0;
+  std::uint64_t per_pair = 0;
+  switch (p) {
+    case Pattern::Rail:
+      // k distinct NICs egress together; the shared uplink drains them
+      // FIFO, one serialization apiece; distinct downlinks pass through.
+      last = occ + static_cast<des::Duration>(k - 1) * ser;
+      per_pair = k;
+      break;
+    case Pattern::Dense:
+      // k^2 messages saturate the uplink from the first arrival on;
+      // downlinks and ingress pipes never queue because each destination
+      // sees only every k-th frame.
+      last = occ + static_cast<des::Duration>(k * k - 1) * ser;
+      per_pair = k * k;
+      break;
+    case Pattern::Fan:
+      // The root's own egress pipe is the bottleneck — frames reach the
+      // uplink pre-spaced one serialization apart, so it never queues.
+      // Every direction replicates the scatter on disjoint resources.
+      last = static_cast<des::Duration>(k) * occ;
+      per_pair = k;
+      break;
+  }
+  // bi adds the mirrored flows on disjoint links and NIC pipes; omni
+  // adds a whole ring of disjoint instances.  Neither moves the clock.
+  const std::uint64_t pairs = d == Direction::Uni   ? 1
+                              : d == Direction::Bi  ? 2
+                                                    : static_cast<std::uint64_t>(geo.groups);
+  return {last + path + cfg.wire_latency, per_pair * pairs};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  // Full: 8 groups of 8, 100 KB frames; smoke trims the geometry but
+  // exercises the identical model checks.
+  const Geometry geo = smoke ? Geometry{4, 4, 4, 10000}
+                             : Geometry{8, 8, 8, 100000};
+  const net::FabricConfig cfg = fabric_config(geo);
+
+  bench::Table table(
+      "CommBench patterns on the one-uplink fat tree (last delivery, us)",
+      {"pattern", "direction", "msgs", "measured", "analytic"});
+
+  int failures = 0;
+  for (const Pattern p : {Pattern::Rail, Pattern::Dense, Pattern::Fan}) {
+    for (const Direction d :
+         {Direction::Uni, Direction::Bi, Direction::Omni}) {
+      const Measured got = run_case(p, d, geo);
+      const Expectation want = expected_last(p, d, geo, cfg);
+      table.add_row({pattern_name(p), direction_name(d),
+                     std::to_string(got.delivered),
+                     bench::fmt(static_cast<double>(got.last_delivery) / 1e3),
+                     bench::fmt(static_cast<double>(want.last) / 1e3)});
+      if (got.last_delivery != want.last || got.delivered != want.delivered ||
+          got.uplink_msgs != want.delivered) {
+        ++failures;
+        std::fprintf(stderr,
+                     "MISMATCH %s/%s: last %lld vs analytic %lld ns, "
+                     "delivered %llu vs %llu, uplink msgs %llu\n",
+                     pattern_name(p), direction_name(d),
+                     static_cast<long long>(got.last_delivery),
+                     static_cast<long long>(want.last),
+                     static_cast<unsigned long long>(got.delivered),
+                     static_cast<unsigned long long>(want.delivered),
+                     static_cast<unsigned long long>(got.uplink_msgs));
+      }
+    }
+  }
+
+  if (failures != 0) {
+    std::fprintf(stderr, "%d pattern/direction cases diverged from the "
+                 "analytic model\n", failures);
+    return 1;
+  }
+  std::printf("all %d cases match the analytic model exactly\n", 9);
+  return 0;
+}

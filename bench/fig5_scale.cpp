@@ -1,0 +1,168 @@
+// Strong scaling past the paper's 32 nodes: the same N = 360,000 TLR
+// Cholesky (fixed tile, 240 tile-columns) swept to 1024 nodes on both
+// backends, with and without communication multithreading, and with the
+// fabric either in the legacy uncongested fixed-latency model or the
+// explicit-link Expanse fat-tree (7 x 25 GB/s uplinks per 56-node rack,
+// ~4:1 oversubscribed — cross-rack traffic contends for uplinks).
+//
+// The sweep exists to answer two questions the paper's figures stop
+// short of: where does the mlci/mmpi gap go as the task-per-node ratio
+// collapses, and how much of the large-scale plateau is fabric
+// congestion rather than runtime overhead.  Emits BENCH_scale.json.
+//
+//   fig5_scale [--smoke] [--out FILE]
+//
+// --smoke shrinks the sweep (a small problem to 16 nodes) so CI can
+// validate the schema in seconds; smoke timing numbers are not data.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util/harness.hpp"
+#include "hicma/driver.hpp"
+
+namespace {
+
+struct RunSpec {
+  int nodes;
+  ce::BackendKind backend;
+  bool mt_activate;
+  bool congestion;
+};
+
+struct RunResult {
+  RunSpec spec;
+  double tts_s = 0;
+  double e2e_p50_ms = 0;
+  double e2e_p99_ms = 0;
+  double crit_ms = 0;
+  double utilization = 0;
+  std::uint64_t msgs = 0;
+  std::uint64_t bytes = 0;
+  double wall_s = 0;
+};
+
+RunResult run_one(const RunSpec& spec, int n, int nb) {
+  hicma::ExperimentConfig cfg;
+  cfg.nodes = spec.nodes;
+  cfg.backend = spec.backend;
+  cfg.mt_activate = spec.mt_activate;
+  cfg.tlr.mode = hicma::TlrOptions::Mode::Model;
+  cfg.tlr.n = n;
+  cfg.tlr.nb = nb;
+  // Congestion on = the Expanse hybrid fat-tree with explicit per-link
+  // queues; off = the legacy two-level fixed-latency model.  Both use
+  // identical latency/bandwidth constants, so any delta is queueing.
+  if (spec.congestion) cfg.fabric = net::expanse_fat_tree_config();
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto res = hicma::run_tlr_cholesky(cfg);
+  const auto t1 = std::chrono::steady_clock::now();
+  bench::metrics_accumulator().merge(res.metrics);
+
+  RunResult r;
+  r.spec = spec;
+  r.tts_s = res.tts_s;
+  r.e2e_p50_ms = res.latency.e2e_p50_ns() / 1e6;
+  r.e2e_p99_ms = res.latency.e2e_p99_ns() / 1e6;
+  r.crit_ms = static_cast<double>(res.runtime_stats.crit.finish_g) / 1e6;
+  r.utilization = res.worker_utilization;
+  r.msgs = res.fabric_messages;
+  r.bytes = res.fabric_bytes;
+  r.wall_s = std::chrono::duration<double>(t1 - t0).count();
+  return r;
+}
+
+const char* backend_key(ce::BackendKind k) {
+  return k == ce::BackendKind::Lci ? "lci" : "mpi";
+}
+
+void write_json(const std::string& path, bool smoke, int n, int nb,
+                int max_nodes, const std::vector<RunResult>& runs) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"fig5_scale\",\n");
+  std::fprintf(f, "  \"schema_version\": 1,\n");
+  std::fprintf(f, "  \"mode\": \"%s\",\n", smoke ? "smoke" : "full");
+  std::fprintf(f, "  \"problem\": { \"n\": %d, \"nb\": %d },\n", n, nb);
+  std::fprintf(f, "  \"max_nodes\": %d,\n", max_nodes);
+  std::fprintf(f, "  \"runs\": [\n");
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const RunResult& r = runs[i];
+    std::fprintf(
+        f,
+        "    { \"nodes\": %d, \"backend\": \"%s\", \"mt_activate\": %d, "
+        "\"congestion\": %d, \"tts_s\": %.17g, \"e2e_p50_ms\": %.17g, "
+        "\"e2e_p99_ms\": %.17g, \"crit_ms\": %.17g, \"utilization\": %.17g, "
+        "\"msgs\": %llu, \"bytes\": %llu, \"wall_s\": %.3f }%s\n",
+        r.spec.nodes, backend_key(r.spec.backend),
+        r.spec.mt_activate ? 1 : 0, r.spec.congestion ? 1 : 0, r.tts_s,
+        r.e2e_p50_ms, r.e2e_p99_ms, r.crit_ms, r.utilization,
+        static_cast<unsigned long long>(r.msgs),
+        static_cast<unsigned long long>(r.bytes), r.wall_s,
+        i + 1 < runs.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote %s (%zu runs)\n", path.c_str(), runs.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out = "BENCH_scale.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--out FILE]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  // Fixed problem across all node counts — a true strong-scaling sweep.
+  // nb = 1500 keeps 240 tile-columns, so 512 and 1024 nodes run task-
+  // starved on purpose: that is the regime the sweep is probing.
+  const int n = smoke ? 36000 : 360000;
+  const int nb = smoke ? 3000 : 1500;
+  const std::vector<int> node_counts =
+      smoke ? std::vector<int>{8, 16} : std::vector<int>{32, 128, 512, 1024};
+
+  std::vector<RunResult> runs;
+  bench::Table tts("fig5_scale: time-to-solution (s), N fixed",
+                   {"nodes", "fabric", "LCI", "LCI+mt", "MPI", "MPI+mt"});
+  for (const int nodes : node_counts) {
+    for (const bool congestion : {false, true}) {
+      std::vector<std::string> row = {std::to_string(nodes),
+                                      congestion ? "fat-tree" : "flat"};
+      for (const auto backend : {ce::BackendKind::Lci, ce::BackendKind::Mpi}) {
+        for (const bool mt : {false, true}) {
+          const RunSpec spec{nodes, backend, mt, congestion};
+          const RunResult r = run_one(spec, n, nb);
+          runs.push_back(r);
+          row.push_back(bench::fmt(r.tts_s));
+          std::printf(
+              "nodes %4d %-3s mt=%d congestion=%d: tts %.3f s "
+              "(p99 %.3f ms, util %.2f, wall %.1f s)\n",
+              nodes, backend_key(backend), mt ? 1 : 0, congestion ? 1 : 0,
+              r.tts_s, r.e2e_p99_ms, r.utilization, r.wall_s);
+          std::fflush(stdout);
+        }
+      }
+      tts.add_row(row);
+    }
+  }
+
+  write_json(out, smoke, n, nb, node_counts.back(), runs);
+  bench::export_metrics_env();
+  return 0;
+}

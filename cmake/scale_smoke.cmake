@@ -1,0 +1,99 @@
+# ctest script behind the "perf"-labeled fig5_scale_smoke test: runs the
+# strong-scaling sweep in smoke mode and validates the emitted
+# BENCH_scale.json against the schema EXPERIMENTS.md documents.  As with
+# perf_smoke.cmake, wall-clock and time-to-solution values are checked
+# for shape and sanity only — never against thresholds.  Invoked as:
+#   cmake -DFIG5_SCALE=<binary> -DOUT_JSON=<path> -P scale_smoke.cmake
+cmake_minimum_required(VERSION 3.19)  # string(JSON)
+
+if(NOT DEFINED FIG5_SCALE OR NOT DEFINED OUT_JSON)
+  message(FATAL_ERROR "usage: cmake -DFIG5_SCALE=... -DOUT_JSON=... -P scale_smoke.cmake")
+endif()
+
+execute_process(
+  COMMAND "${FIG5_SCALE}" --smoke --out "${OUT_JSON}"
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE run_out
+  ERROR_VARIABLE run_err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "fig5_scale --smoke failed (rc=${rc}):\n${run_out}\n${run_err}")
+endif()
+
+file(READ "${OUT_JSON}" doc)
+
+string(JSON bench ERROR_VARIABLE err GET "${doc}" bench)
+if(err OR NOT bench STREQUAL "fig5_scale")
+  message(FATAL_ERROR "BENCH_scale.json: bad 'bench' field: ${bench} ${err}")
+endif()
+string(JSON schema ERROR_VARIABLE err GET "${doc}" schema_version)
+if(err OR NOT schema EQUAL 1)
+  message(FATAL_ERROR "BENCH_scale.json: bad 'schema_version': ${schema} ${err}")
+endif()
+string(JSON mode ERROR_VARIABLE err GET "${doc}" mode)
+if(err OR NOT mode STREQUAL "smoke")
+  message(FATAL_ERROR "BENCH_scale.json: bad 'mode': ${mode} ${err}")
+endif()
+foreach(field n nb)
+  string(JSON v ERROR_VARIABLE err GET "${doc}" problem ${field})
+  if(err OR NOT v GREATER 0)
+    message(FATAL_ERROR "BENCH_scale.json: bad problem.${field}: ${v} ${err}")
+  endif()
+endforeach()
+string(JSON max_nodes ERROR_VARIABLE err GET "${doc}" max_nodes)
+if(err OR NOT max_nodes GREATER 0)
+  message(FATAL_ERROR "BENCH_scale.json: bad 'max_nodes': ${max_nodes} ${err}")
+endif()
+
+# Every run row must carry the full column set with sane values, and the
+# sweep must cover both backends and both fabric models — the whole point
+# of the bench is those contrasts.
+string(JSON nruns ERROR_VARIABLE err LENGTH "${doc}" runs)
+if(err OR NOT nruns GREATER 0)
+  message(FATAL_ERROR "BENCH_scale.json: empty or missing 'runs': ${err}")
+endif()
+set(seen_lci 0)
+set(seen_mpi 0)
+set(seen_flat 0)
+set(seen_fat 0)
+math(EXPR last "${nruns} - 1")
+foreach(i RANGE ${last})
+  foreach(field nodes tts_s msgs bytes wall_s)
+    string(JSON v ERROR_VARIABLE err GET "${doc}" runs ${i} ${field})
+    if(err)
+      message(FATAL_ERROR "BENCH_scale.json: runs[${i}].${field} missing: ${err}")
+    endif()
+    if(NOT v GREATER 0)
+      message(FATAL_ERROR "BENCH_scale.json: runs[${i}].${field} not positive: ${v}")
+    endif()
+  endforeach()
+  foreach(field e2e_p50_ms e2e_p99_ms crit_ms utilization mt_activate congestion)
+    string(JSON v ERROR_VARIABLE err GET "${doc}" runs ${i} ${field})
+    if(err)
+      message(FATAL_ERROR "BENCH_scale.json: runs[${i}].${field} missing: ${err}")
+    endif()
+    if(v LESS 0)
+      message(FATAL_ERROR "BENCH_scale.json: runs[${i}].${field} negative: ${v}")
+    endif()
+  endforeach()
+  string(JSON backend GET "${doc}" runs ${i} backend)
+  if(backend STREQUAL "lci")
+    set(seen_lci 1)
+  elseif(backend STREQUAL "mpi")
+    set(seen_mpi 1)
+  else()
+    message(FATAL_ERROR "BENCH_scale.json: runs[${i}].backend bad: ${backend}")
+  endif()
+  string(JSON congestion GET "${doc}" runs ${i} congestion)
+  if(congestion EQUAL 0)
+    set(seen_flat 1)
+  else()
+    set(seen_fat 1)
+  endif()
+endforeach()
+if(NOT (seen_lci AND seen_mpi AND seen_flat AND seen_fat))
+  message(FATAL_ERROR
+    "BENCH_scale.json: sweep must cover both backends and both fabric "
+    "models (lci=${seen_lci} mpi=${seen_mpi} flat=${seen_flat} fat=${seen_fat})")
+endif()
+
+message(STATUS "fig5_scale smoke OK: ${nruns} runs in ${OUT_JSON}")

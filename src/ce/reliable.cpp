@@ -96,9 +96,9 @@ ReliableChannel::~ReliableChannel() { cancel_timers(); }
 void ReliableChannel::cancel_timers() {
   for (auto& peer : unacked_) {
     for (auto& [seq, u] : peer) {
-      if (u.timer != des::kInvalidEvent) {
+      if (u.timer.ev != des::kInvalidEvent) {
         eng_.cancel(u.timer);
-        u.timer = des::kInvalidEvent;
+        u.timer = {};
       }
     }
   }
@@ -173,19 +173,20 @@ void ReliableChannel::arm_timer(net::NodeId dst, std::uint64_t seq) {
   // Reschedule a still-pending timer in place (the NACK fast-retransmit
   // path): the callback stays parked in its event slot, no cancel
   // tombstone, no new slot.  A fired timer needs a fresh event.
-  if (u.timer != des::kInvalidEvent &&
+  if (u.timer.ev != des::kInvalidEvent &&
       eng_.reschedule(u.timer, eng_.now() + delay)) {
     return;
   }
-  u.timer = eng_.schedule_after(
-      delay, [this, dst, seq]() { on_timer(dst, seq); });
+  u.timer = eng_.schedule_on(net::Fabric::shard_of(node_),
+                             eng_.now() + delay,
+                             [this, dst, seq]() { on_timer(dst, seq); });
 }
 
 void ReliableChannel::on_timer(net::NodeId dst, std::uint64_t seq) {
   auto& peer = unacked_[static_cast<std::size_t>(dst)];
   const auto it = peer.find(seq);
   if (it == peer.end()) return;  // ACKed between firing and dispatch
-  it->second.timer = des::kInvalidEvent;
+  it->second.timer = {};
   expire(dst, seq);
 }
 
@@ -201,7 +202,7 @@ void ReliableChannel::expire(net::NodeId dst, std::uint64_t seq) {
     if (domain_.rec_ != nullptr) {
       domain_.rec_->counter("ce.rel.timeouts").add();
     }
-    if (u.timer != des::kInvalidEvent) eng_.cancel(u.timer);
+    if (u.timer.ev != des::kInvalidEvent) eng_.cancel(u.timer);
     const DeliveryErrorCallback& cb = domain_.on_error_;
     peer.erase(it);
     if (cb) cb(node_, dst, seq, Status::ErrTimeout);
@@ -259,7 +260,7 @@ void ReliableChannel::on_control(const net::Message& m) {
   }
 
   // ACK: done.
-  if (u.timer != des::kInvalidEvent) eng_.cancel(u.timer);
+  if (u.timer.ev != des::kInvalidEvent) eng_.cancel(u.timer);
   if (domain_.rec_ != nullptr) {
     const auto wait = static_cast<double>(eng_.now() - u.first_sent);
     domain_.rec_->histogram("ce.rel.ack_ns").add(wait);

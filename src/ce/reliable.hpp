@@ -105,7 +105,9 @@ class ReliableChannel final : public net::LinkShim {
     int attempts = 1;            ///< transmissions so far
     des::Duration rto = 0;       ///< current timeout
     des::Duration rto_cap = 0;   ///< per-message cap (size-dependent)
-    des::EventId timer = des::kInvalidEvent;
+    // RTO timer handle; lives on the owning node's DES shard so a
+    // node's retransmission state stays in that node's event slab.
+    des::ShardedEventQueue::Id timer;
   };
   struct PeerRecv {
     std::uint64_t cum = 0;            ///< all seq <= cum seen

@@ -5,13 +5,21 @@
 // it; the engine fires them in (time, insertion) order.  The engine is
 // strictly single-(OS-)threaded: determinism comes from the total event
 // order, and "parallelism" is modeled, not real.
+//
+// Events live in a ShardedEventQueue: callers that know which simulated
+// node an event belongs to place it on that node's shard via
+// schedule_on(), keeping per-node state in per-node slabs; callers that
+// don't (timers, runtime bookkeeping) use the EventId-based API, which is
+// shard 0.  Because all shards share one FIFO counter, the merged firing
+// order is bit-identical to the former monolithic queue regardless of how
+// events are spread across shards.
 #pragma once
 
 #include <cassert>
 #include <functional>
 #include <utility>
 
-#include "des/event_queue.hpp"
+#include "des/sharded_queue.hpp"
 #include "des/time.hpp"
 
 namespace des {
@@ -33,7 +41,7 @@ class Engine {
   template <typename F>
   EventId schedule_at(Time t, F&& fn) {
     assert(t >= now_ && "cannot schedule into the past");
-    return queue_.schedule(t, std::forward<F>(fn));
+    return queue_.schedule(0, t, std::forward<F>(fn)).ev;
   }
 
   /// Schedules `fn` after `d` nanoseconds of simulated time.
@@ -43,13 +51,27 @@ class Engine {
     return schedule_at(now_ + d, std::forward<F>(fn));
   }
 
+  /// Schedules `fn` at absolute time `t` on `shard` (one shard per
+  /// simulated node by convention).  Sharding changes WHERE the event's
+  /// slot lives, never WHEN it fires relative to other events.
+  template <typename F>
+  ShardedEventQueue::Id schedule_on(std::uint32_t shard, Time t, F&& fn) {
+    assert(t >= now_ && "cannot schedule into the past");
+    return queue_.schedule(shard, t, std::forward<F>(fn));
+  }
+
   /// Cancels a pending event; returns false if already fired/cancelled.
-  bool cancel(EventId id) { return queue_.cancel(id); }
+  bool cancel(EventId id) { return queue_.cancel({0, id}); }
+  bool cancel(ShardedEventQueue::Id id) { return queue_.cancel(id); }
 
   /// Moves a pending event to absolute time `t` (>= now()), keeping its
   /// callback — cancel + schedule without the churn.  Returns false if the
   /// event already fired or was cancelled.
   bool reschedule(EventId id, Time t) {
+    assert(t >= now_ && "cannot reschedule into the past");
+    return queue_.reschedule({0, id}, t);
+  }
+  bool reschedule(ShardedEventQueue::Id id, Time t) {
     assert(t >= now_ && "cannot reschedule into the past");
     return queue_.reschedule(id, t);
   }
@@ -91,6 +113,12 @@ class Engine {
 
   std::size_t pending_events() const { return queue_.size(); }
   std::uint64_t events_fired() const { return events_fired_; }
+  std::size_t num_shards() const { return queue_.num_shards(); }
+
+  /// Conservative lookahead bound for `shard` (see ShardedEventQueue).
+  Time safe_horizon(std::uint32_t shard, Duration lookahead) {
+    return queue_.safe_horizon(shard, lookahead);
+  }
 
   /// Installs (or, with null, removes) the trace sink.  The sink must
   /// outlive every event that may emit into it.
@@ -101,7 +129,7 @@ class Engine {
   TraceSink* trace_sink() const { return trace_; }
 
  private:
-  EventQueue queue_;
+  ShardedEventQueue queue_;
   Time now_ = 0;
   std::uint64_t events_fired_ = 0;
   TraceSink* trace_ = nullptr;

@@ -51,6 +51,18 @@ class EventQueue {
   template <typename F>
   AMTLCE_DES_HOT_INLINE EventId schedule(Time t, F&& fn);
 
+  /// schedule() with an externally supplied FIFO sequence number.  Used by
+  /// ShardedEventQueue to impose ONE global (time, seq) order across many
+  /// per-shard queues: each shard stores its events under seqs drawn from
+  /// the shared counter, so merging shard fronts by (time, seq) reproduces
+  /// exactly the order a single monolithic queue would produce.  `seq`
+  /// values must be strictly increasing across calls (including plain
+  /// schedule()/reschedule(), which advance the same internal counter when
+  /// used standalone) and must stay below 2^40.
+  template <typename F>
+  AMTLCE_DES_HOT_INLINE EventId schedule_seq(Time t, std::uint64_t seq,
+                                             F&& fn);
+
   /// Cancels a pending event.  Returns false if the id is unknown or the
   /// event already fired.
   AMTLCE_DES_HOT_INLINE bool cancel(EventId id);
@@ -60,6 +72,12 @@ class EventQueue {
   /// a fresh FIFO position among equal timestamps) without the slot and
   /// callback churn.  Returns false if the id is unknown or already fired.
   AMTLCE_DES_HOT_INLINE bool reschedule(EventId id, Time t);
+
+  /// reschedule() with an externally supplied FIFO sequence number (see
+  /// schedule_seq); the moved event re-queues as if freshly scheduled
+  /// under `seq`.
+  AMTLCE_DES_HOT_INLINE bool reschedule_seq(EventId id, Time t,
+                                            std::uint64_t seq);
 
   bool empty() const { return live_count_ == 0; }
   std::size_t size() const { return live_count_; }
@@ -74,6 +92,18 @@ class EventQueue {
 
   /// Time of the earliest pending event, or kTimeNever when empty.
   AMTLCE_DES_HOT_INLINE Time next_time();
+
+  /// The front event's (time, seq) after dropping tombstones.  Returns
+  /// false when the queue is empty.  The seq is the FIFO sequence the
+  /// event was scheduled under (external when schedule_seq was used), so
+  /// ShardedEventQueue can compare fronts across shards exactly.
+  AMTLCE_DES_HOT_INLINE bool peek_front(Time& t, std::uint64_t& seq) {
+    drop_dead_front();
+    if (heap_.empty()) return false;
+    t = heap_.front().time;
+    seq = heap_.front().key >> kSlotBits;
+    return true;
+  }
 
   /// Pops and returns the earliest pending event.  Precondition: !empty().
   struct Fired {
@@ -240,6 +270,14 @@ class EventQueue {
 
 template <typename F>
 EventId EventQueue::schedule(Time t, F&& fn) {
+  // No overflow guard on the 40-bit seq: at simulator rates (~3e7
+  // events/sec) it would take >10 wall-clock hours to exhaust, orders of
+  // magnitude past any run here, and the check would tax every schedule.
+  return schedule_seq(t, next_seq_++, std::forward<F>(fn));
+}
+
+template <typename F>
+EventId EventQueue::schedule_seq(Time t, std::uint64_t seq, F&& fn) {
   std::uint32_t idx;
   if (free_head_ != kNoFree) {
     idx = free_head_;
@@ -252,10 +290,7 @@ EventId EventQueue::schedule(Time t, F&& fn) {
   Slot& s = slots_[idx];
   s.fn = std::forward<F>(fn);  // constructed in place for raw callables
   s.time = t;
-  // No overflow guard on the 40-bit seq: at simulator rates (~3e7
-  // events/sec) it would take >10 wall-clock hours to exhaust, orders of
-  // magnitude past any run here, and the check would tax every schedule.
-  const std::uint64_t key = (next_seq_++ << kSlotBits) | idx;
+  const std::uint64_t key = (seq << kSlotBits) | idx;
   s.heap_key = key;
   s.live = true;
   heap_push(Entry{t, key});
@@ -274,12 +309,17 @@ inline bool EventQueue::cancel(EventId id) {
 }
 
 inline bool EventQueue::reschedule(EventId id, Time t) {
+  return reschedule_seq(id, t, next_seq_++);
+}
+
+inline bool EventQueue::reschedule_seq(EventId id, Time t,
+                                       std::uint64_t seq) {
   Slot* const s = live_slot(id);
   if (s == nullptr) return false;
   // The old heap entry goes stale (key mismatch); push a fresh one.  The
   // event takes a new FIFO position, exactly as cancel + schedule would.
   s->time = t;
-  const std::uint64_t key = (next_seq_++ << kSlotBits) | slot_of(id);
+  const std::uint64_t key = (seq << kSlotBits) | slot_of(id);
   s->heap_key = key;
   heap_push(Entry{t, key});
   maybe_compact();

@@ -1,0 +1,33 @@
+#include "des/sharded_queue.hpp"
+
+namespace des {
+
+// Cold path: first schedule() onto a shard index beyond the current set.
+// On the 1 -> N transition the candidate heap has never been maintained
+// (the single-shard fast path bypasses it), so every existing shard's
+// front must be seeded before multi-shard merging can trust the heap.
+void ShardedEventQueue::grow_to(std::size_t n) {
+  const bool was_multi = multi_;
+  shards_.resize(n);
+  multi_ = shards_.size() > 1;
+  if (!was_multi && multi_) {
+    fronts_.clear();
+    for (std::uint32_t s = 0; s < shards_.size(); ++s) {
+      reseed_front(s);
+    }
+  }
+}
+
+// Pushes `shard`'s current front as a candidate after any operation that
+// may have changed it (pop, cancel, reschedule).  Duplicates are fine —
+// the older candidate goes stale and skim() discards it; an empty shard
+// contributes nothing.
+void ShardedEventQueue::reseed_front(std::uint32_t shard) {
+  Time t;
+  std::uint64_t seq;
+  if (shards_[shard].peek_front(t, seq)) {
+    front_push(FrontEntry{t, seq, shard});
+  }
+}
+
+}  // namespace des

@@ -1,0 +1,220 @@
+// Sharded event queue: one slab EventQueue per shard (in the simulator,
+// one shard per simulated node), merged into a single global firing order.
+//
+// Why shard?  At 512-4096 simulated nodes a monolithic queue interleaves
+// every node's events in one slab and one heap, so the hot pop/schedule
+// loop touches cache lines from the whole cluster.  Sharding keeps each
+// node's slots, callbacks, and heap entries in its own compact slab
+// (locality today) and gives each shard an independent timeline with a
+// `safe_horizon()` lookahead bound (conservative-parallel execution
+// later: a shard may run ahead to min over other shards of their next
+// event time plus the wire-latency lookahead, because no cross-shard
+// event can arrive earlier than that).
+//
+// Ordering is EXACT, not merely fair: all shards draw FIFO sequence
+// numbers from one shared counter (EventQueue::schedule_seq), and pop()
+// returns the global minimum by (time, seq).  The merged firing order is
+// therefore bit-identical to what one monolithic EventQueue would
+// produce for the same schedule() call sequence — which is what keeps
+// fig4/fig5 reproductions byte-stable when the fabric shards per node.
+//
+// Front merging is a lazy min-heap of (time, seq, shard) candidates:
+//   - schedule() pushes a candidate only when the new event became its
+//     shard's front;
+//   - pop() re-pushes the shard's new front after removing the old one;
+//   - cancel()/reschedule() push the shard's (possibly changed) front;
+//   - stale candidates (their (time, seq) no longer matches the shard's
+//     true front) are skipped and discarded when they surface.
+// Every front change is covered by one of those hooks, so the heap top,
+// once skimmed of stale entries, is always the true global minimum.
+// With a single shard the candidate heap is bypassed entirely and the
+// wrapper costs one branch over a bare EventQueue.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "des/event_queue.hpp"
+#include "des/time.hpp"
+
+namespace des {
+
+class ShardedEventQueue {
+ public:
+  /// Identifies a scheduled event: the owning shard plus the EventId
+  /// inside that shard's queue.  Shard-0 ids interoperate with code that
+  /// only keeps the EventId (the Engine's legacy cancel/reschedule API).
+  struct Id {
+    std::uint32_t shard = 0;
+    EventId ev = kInvalidEvent;
+  };
+
+  explicit ShardedEventQueue(std::size_t shards = 1) {
+    shards_.resize(shards > 0 ? shards : 1);
+    multi_ = shards_.size() > 1;
+  }
+
+  /// Schedules `fn` on `shard` at absolute time `t`.  Shards are created
+  /// on demand: scheduling on a shard index beyond the current count
+  /// grows the set (cold path; growth never perturbs pending events).
+  template <typename F>
+  AMTLCE_DES_HOT_INLINE Id schedule(std::uint32_t shard, Time t, F&& fn) {
+    if (shard >= shards_.size()) grow_to(shard + 1);
+    const std::uint64_t seq = next_seq_++;
+    const EventId ev = shards_[shard].schedule_seq(t, seq,
+                                                   std::forward<F>(fn));
+    ++live_;
+    if (multi_) {
+      // Candidate needed only if this event became the shard's front.
+      Time ft;
+      std::uint64_t fseq;
+      if (shards_[shard].peek_front(ft, fseq) && fseq == seq) {
+        front_push(FrontEntry{t, seq, shard});
+      }
+    }
+    return Id{shard, ev};
+  }
+
+  /// Cancels a pending event.  Returns false if unknown or already fired.
+  bool cancel(const Id& id) {
+    if (id.shard >= shards_.size()) return false;
+    if (!shards_[id.shard].cancel(id.ev)) return false;
+    --live_;
+    if (multi_) reseed_front(id.shard);
+    return true;
+  }
+
+  /// Moves a pending event to time `t` with a fresh global FIFO position.
+  bool reschedule(const Id& id, Time t) {
+    if (id.shard >= shards_.size()) return false;
+    if (!shards_[id.shard].reschedule_seq(id.ev, t, next_seq_)) return false;
+    ++next_seq_;
+    if (multi_) reseed_front(id.shard);
+    return true;
+  }
+
+  bool empty() const { return live_ == 0; }
+  std::size_t size() const { return live_; }
+  std::size_t num_shards() const { return shards_.size(); }
+
+  /// Time of the earliest pending event across all shards, kTimeNever
+  /// when empty.
+  AMTLCE_DES_HOT_INLINE Time next_time() {
+    if (!multi_) return shards_[0].next_time();
+    const FrontEntry* e = skim();
+    return e == nullptr ? kTimeNever : e->time;
+  }
+
+  /// Pops the globally earliest event — minimum (time, seq), i.e. the
+  /// exact order a monolithic queue would fire.  Precondition: !empty().
+  struct Fired {
+    Time time;
+    Id id;
+    EventQueue::Callback fn;
+  };
+  AMTLCE_DES_HOT_INLINE Fired pop() {
+    assert(live_ > 0 && "pop() on empty ShardedEventQueue");
+    std::uint32_t shard = 0;
+    if (multi_) {
+      const FrontEntry* e = skim();
+      assert(e != nullptr && "live_ > 0 but no valid front candidate");
+      shard = e->shard;
+      front_pop();
+    }
+    auto fired = shards_[shard].pop();
+    --live_;
+    if (multi_) reseed_front(shard);
+    return Fired{fired.time, Id{shard, fired.id}, std::move(fired.fn)};
+  }
+
+  /// Earliest time at which any OTHER shard could inject work into
+  /// `shard`, assuming cross-shard interactions take at least `lookahead`
+  /// of simulated time (the fabric's minimum wire latency).  Events of
+  /// `shard` strictly before this horizon can safely run without seeing
+  /// input from the rest of the cluster — the conservative-parallel DES
+  /// bound (Chandy/Misra lookahead).
+  Time safe_horizon(std::uint32_t shard, Duration lookahead) {
+    Time min_other = kTimeNever;
+    for (std::uint32_t s = 0; s < shards_.size(); ++s) {
+      if (s == shard) continue;
+      const Time t = shards_[s].next_time();
+      if (t < min_other) min_other = t;
+    }
+    if (min_other == kTimeNever) return kTimeNever;
+    return min_other + lookahead;
+  }
+
+  /// Per-shard introspection (tests, schedulers).
+  Time shard_next_time(std::uint32_t shard) {
+    return shard < shards_.size() ? shards_[shard].next_time() : kTimeNever;
+  }
+  std::size_t shard_size(std::uint32_t shard) const {
+    return shard < shards_.size() ? shards_[shard].size() : 0;
+  }
+
+ private:
+  struct FrontEntry {
+    Time time;
+    std::uint64_t seq;
+    std::uint32_t shard;
+    bool operator>(const FrontEntry& o) const {
+      if (time != o.time) return time > o.time;
+      return seq > o.seq;  // seqs are globally unique — total order
+    }
+  };
+
+  void grow_to(std::size_t n);
+  void reseed_front(std::uint32_t shard);
+
+  /// Drops stale candidates off the heap top; returns the first valid one
+  /// (the true global front) or null when no live events remain.
+  AMTLCE_DES_HOT_INLINE const FrontEntry* skim() {
+    while (!fronts_.empty()) {
+      const FrontEntry& e = fronts_.front();
+      Time t;
+      std::uint64_t seq;
+      if (shards_[e.shard].peek_front(t, seq) && t == e.time &&
+          seq == e.seq) {
+        return &e;
+      }
+      front_pop();  // stale: cancelled, rescheduled, or duplicate
+    }
+    return nullptr;
+  }
+
+  // Binary min-heap over candidates (small: O(shards + churn) entries).
+  AMTLCE_DES_HOT_INLINE void front_push(const FrontEntry& e) {
+    fronts_.push_back(e);
+    std::size_t i = fronts_.size() - 1;
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 2;
+      if (!(fronts_[parent] > fronts_[i])) break;
+      std::swap(fronts_[parent], fronts_[i]);
+      i = parent;
+    }
+  }
+  AMTLCE_DES_HOT_INLINE void front_pop() {
+    fronts_.front() = fronts_.back();
+    fronts_.pop_back();
+    std::size_t i = 0;
+    const std::size_t n = fronts_.size();
+    for (;;) {
+      const std::size_t l = 2 * i + 1, r = 2 * i + 2;
+      std::size_t best = i;
+      if (l < n && fronts_[best] > fronts_[l]) best = l;
+      if (r < n && fronts_[best] > fronts_[r]) best = r;
+      if (best == i) break;
+      std::swap(fronts_[i], fronts_[best]);
+      i = best;
+    }
+  }
+
+  std::vector<EventQueue> shards_;
+  std::vector<FrontEntry> fronts_;  // lazy min-heap of shard fronts
+  std::uint64_t next_seq_ = 0;      // ONE counter across all shards
+  std::size_t live_ = 0;
+  bool multi_ = false;
+};
+
+}  // namespace des

@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "des/time.hpp"
+#include "net/topology.hpp"
 
 namespace net {
 
@@ -34,8 +35,13 @@ struct FaultConfig {
   des::Time brownout_start = 0;
   des::Duration brownout_duration = 0;
 
-  /// NIC stall window: `stall_node`'s egress pipe is frozen during
-  /// [stall_start, stall_start + stall_duration); sends queue behind it.
+  /// NIC stall window: `stall_node`'s NIC is frozen during
+  /// [stall_start, stall_start + stall_duration) in BOTH directions —
+  /// egress and ingress pipes alike (a stalled NIC neither transmits
+  /// nor raises completion events).  A transfer that would start inside
+  /// the window waits for the window end; a transfer already in
+  /// progress when the window opens freezes mid-flight and finishes
+  /// `stall_duration` later.  Queued traffic trails behind either way.
   int stall_node = -1;
   des::Time stall_start = 0;
   des::Duration stall_duration = 0;
@@ -79,6 +85,12 @@ struct FabricConfig {
   des::Duration clock_skew_max = 0;
   std::uint64_t clock_seed = 0x5eed;
 
+  /// Hierarchical topology (see TopologyConfig).  Defaults to the
+  /// legacy fixed-latency two-level hop model; setting
+  /// `topology.explicit_links` routes cross-leaf traffic over per-link
+  /// serialization queues with shared-switch congestion.
+  TopologyConfig topology;
+
   /// Fault injection (off by default; see FaultConfig).
   FaultConfig faults;
 };
@@ -93,5 +105,23 @@ void validate(const FabricConfig& cfg);
 
 /// Parameters mirroring the paper's SDSC Expanse platform (Table 1).
 inline FabricConfig expanse_config() { return FabricConfig{}; }
+
+/// Expanse's hybrid fat-tree (Table 1) with explicit links: 56-node
+/// racks on HDR100 (12.5 GB/s per node), racks uplinked to a spanning
+/// spine tier through 7 x HDR200 (25 GB/s) ports — 700 GB/s of rack
+/// ingress vs 175 GB/s of uplink, the documented 4.33:1 (~4:1)
+/// oversubscription.  Cross-rack traffic contends for uplinks and
+/// spine planes; in-rack traffic sees only the NIC pipes.
+inline FabricConfig expanse_fat_tree_config() {
+  FabricConfig cfg;
+  cfg.nodes_per_switch = 56;
+  cfg.topology.explicit_links = true;
+  cfg.topology.levels = {
+      TopologyLevel{/*radix=*/56, /*uplinks=*/7,
+                    /*uplink_bandwidth_Bps=*/25e9, /*switch_latency=*/-1},
+      TopologyLevel{},  // spanning spine tier
+  };
+  return cfg;
+}
 
 }  // namespace net

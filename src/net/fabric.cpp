@@ -83,14 +83,25 @@ void validate(const FabricConfig& cfg) {
                      static_cast<double>(f.stall_duration));
 }
 
-Fabric::Fabric(des::Engine& engine, int num_nodes, FabricConfig config)
-    : eng_(engine), cfg_(config),
-      fault_rng_(des::derive_seed(config.faults.seed, 0xFA01)) {
-  validate(cfg_);
+namespace {
+
+// Runs before the Topology member is built: the topology derives link
+// structure from the config, so a bad config must fail here first.
+const FabricConfig& validated(const FabricConfig& cfg, int num_nodes) {
+  validate(cfg);
   if (num_nodes < 1) {
     throw std::invalid_argument("Fabric: num_nodes must be >= 1, got " +
                                 std::to_string(num_nodes));
   }
+  return cfg;
+}
+
+}  // namespace
+
+Fabric::Fabric(des::Engine& engine, int num_nodes, FabricConfig config)
+    : eng_(engine), cfg_(config),
+      topo_(validated(cfg_, num_nodes), num_nodes),
+      fault_rng_(des::derive_seed(config.faults.seed, 0xFA01)) {
   nics_.reserve(static_cast<std::size_t>(num_nodes));
   for (NodeId n = 0; n < num_nodes; ++n) {
     nics_.emplace_back(std::unique_ptr<Nic>(new Nic(*this, n)));
@@ -105,17 +116,32 @@ Fabric::Fabric(des::Engine& engine, int num_nodes, FabricConfig config)
   }
 }
 
+void Fabric::check_node(const char* what, NodeId n) const {
+  if (n < 0 || n >= num_nodes()) {
+    throw std::out_of_range(std::string("Fabric: ") + what + " = " +
+                            std::to_string(n) + " outside [0, " +
+                            std::to_string(num_nodes()) +
+                            ") — invalid node id");
+  }
+}
+
 int Fabric::hops(NodeId a, NodeId b) const {
-  if (a == b) return 0;
-  const int group_a = a / cfg_.nodes_per_switch;
-  const int group_b = b / cfg_.nodes_per_switch;
-  return group_a == group_b ? 1 : 3;
+  // Hard validation: a negative id would silently round toward group 0
+  // and an oversized one would invent a phantom switch — both are
+  // wiring bugs that must fail at the call site, not as garbage math.
+  check_node("node a", a);
+  check_node("node b", b);
+  return topo_.hops(a, b);
 }
 
 des::Duration Fabric::latency(NodeId a, NodeId b) const {
-  if (a == b) return cfg_.loopback_latency;
-  return cfg_.wire_latency + static_cast<des::Duration>(hops(a, b)) *
-                                 cfg_.per_hop_latency;
+  if (a == b) {
+    check_node("node", a);
+    return cfg_.loopback_latency;
+  }
+  check_node("node a", a);
+  check_node("node b", b);
+  return cfg_.wire_latency + topo_.path_switch_latency(a, b);
 }
 
 des::Duration Fabric::occupancy(std::uint64_t bytes) const {
@@ -133,8 +159,14 @@ void Nic::send(Message m, SentHandler on_sent) {
 }
 
 void Nic::raw_send(Message m, SentHandler on_sent) {
-  assert(m.src == node_ && "message src must be the sending NIC's node");
-  assert(m.dst >= 0 && m.dst < fabric_.num_nodes());
+  // Send-time validation is a hard error: a stale or corrupted NodeId
+  // must not leak into group math, link indexing, or nic() lookups.
+  fabric_.check_node("Message.dst", m.dst);
+  if (m.src != node_) {
+    throw std::invalid_argument(
+        "Nic::raw_send: Message.src = " + std::to_string(m.src) +
+        " does not match the sending NIC's node " + std::to_string(node_));
+  }
   fabric_.do_send(*this, std::move(m), std::move(on_sent));
 }
 
@@ -165,13 +197,15 @@ void Fabric::set_recorder(obs::Recorder* rec) {
   h_fault_delay_ = rec ? &rec->histogram("net.fault.delay_ns") : nullptr;
 }
 
-Fabric::Delivery* Fabric::acquire_delivery(Nic& dst, Message&& m) {
-  Delivery* d = delivery_free_;
+Delivery* Fabric::acquire_delivery(Nic& dst, Message&& m) {
+  // Per-destination slab: the record lives with the node that will
+  // consume it, alongside that node's event-queue shard.
+  Delivery* d = dst.delivery_free_;
   if (d != nullptr) {
-    delivery_free_ = d->next_free;
+    dst.delivery_free_ = d->next_free;
   } else {
-    delivery_arena_.push_back(std::make_unique<Delivery>());
-    d = delivery_arena_.back().get();
+    dst.delivery_arena_.push_back(std::make_unique<Delivery>());
+    d = dst.delivery_arena_.back().get();
   }
   d->msg = std::move(m);
   d->dst = &dst;
@@ -181,26 +215,14 @@ Fabric::Delivery* Fabric::acquire_delivery(Nic& dst, Message&& m) {
 void Fabric::deliver_and_release(Delivery* d) {
   Nic* const dst = d->dst;
   Message msg = std::move(d->msg);  // leaves the record's payload ref null
-  d->next_free = delivery_free_;
-  delivery_free_ = d;  // recycled before dispatch: nested sends may reuse it
+  d->next_free = dst->delivery_free_;
+  dst->delivery_free_ = d;  // recycled before dispatch: nested sends reuse it
   dst->dispatch(std::move(msg));
 }
 
-Fabric::FaultPlan Fabric::plan_faults(const Message& m,
-                                      des::Time wire_entry) {
+Fabric::FaultPlan Fabric::plan_faults() {
   const FaultConfig& f = cfg_.faults;
   FaultPlan plan;
-  // Brownout: the link to/from the browned-out node eats every message in
-  // the window (deterministic, no rng draw).
-  if (f.brownout_node >= 0 && f.brownout_duration > 0 &&
-      (m.src == f.brownout_node || m.dst == f.brownout_node) &&
-      wire_entry >= f.brownout_start &&
-      wire_entry < f.brownout_start + f.brownout_duration) {
-    plan.drop = true;
-    ++fault_stats_.brownout_drops;
-    count_fault("net.fault.brownout_drops");
-    return plan;
-  }
   if (f.drop_prob > 0 && fault_rng_.uniform() < f.drop_prob) {
     plan.drop = true;
     return plan;
@@ -264,50 +286,104 @@ void Fabric::do_send(Nic& src, Message m, Nic::SentHandler on_sent) {
       h_wire_transit_->add(static_cast<double>(done - now));
     }
     if (on_sent) {
-      eng_.schedule_at(sent, std::move(on_sent));
+      eng_.schedule_on(shard_of(m.src), sent, std::move(on_sent));
     }
+    const auto dst_shard = shard_of(m.dst);
     Delivery* const d = acquire_delivery(dst, std::move(m));
-    eng_.schedule_at(done, [this, d]() { deliver_and_release(d); });
+    eng_.schedule_on(dst_shard, done, [this, d]() { deliver_and_release(d); });
     return;
   }
 
-  const bool faulted = cfg_.faults.any();
+  const FaultConfig& f = cfg_.faults;
+  const bool faulted = f.any();
   const des::Duration occ = occupancy(m.wire_bytes);
   des::Time egress_start = std::max(now, src.egress_free_);
+  des::Time egress_end = egress_start + occ;
 
-  // NIC stall window: the egress pipe is frozen; the message (and, via
-  // egress_free_, everything queued behind it) waits the window out.
-  if (faulted && m.src == cfg_.faults.stall_node &&
-      cfg_.faults.stall_duration > 0 &&
-      egress_start >= cfg_.faults.stall_start &&
-      egress_start < cfg_.faults.stall_start + cfg_.faults.stall_duration) {
-    egress_start = cfg_.faults.stall_start + cfg_.faults.stall_duration;
-    ++fault_stats_.stalled_msgs;
-    count_fault("net.fault.stalled_msgs");
+  // NIC stall window [S, E): the egress pipe is frozen.  A transfer that
+  // would start inside the window starts at E instead; one already on
+  // the wire when the window opens freezes mid-flight and carries the
+  // full window length.  Either way egress_free_ pushes the queue back.
+  if (faulted && m.src == f.stall_node && f.stall_duration > 0) {
+    const des::Time stall_end = f.stall_start + f.stall_duration;
+    if (egress_start >= f.stall_start && egress_start < stall_end) {
+      egress_start = stall_end;
+      egress_end = egress_start + occ;
+      ++fault_stats_.stalled_msgs;
+      count_fault("net.fault.stalled_msgs");
+    } else if (egress_start < f.stall_start && egress_end > f.stall_start) {
+      // Straddle: the tail of this transfer was previously priced as if
+      // the NIC kept transmitting through the window — the bug this
+      // branch fixes.  The frozen interval is inserted wholesale.
+      egress_end += f.stall_duration;
+      ++fault_stats_.stalled_msgs;
+      count_fault("net.fault.stalled_msgs");
+    }
   }
-
-  const des::Time egress_end = egress_start + occ;
   src.egress_free_ = egress_end;
 
   if (on_sent) {
-    eng_.schedule_at(egress_end, std::move(on_sent));
+    eng_.schedule_on(shard_of(m.src), egress_end, std::move(on_sent));
   }
 
-  FaultPlan plan;
-  if (faulted) plan = plan_faults(m, egress_start);
-  if (plan.drop) {
-    // The message left the NIC (egress charged, on_sent fired) and died on
-    // the wire: no ingress occupancy, no delivery.
+  // Source-side brownout is judged against the modeled wire-occupancy
+  // interval [egress_start, egress_end), not the queue-entry time: a
+  // message queued before the window but transmitted inside it is eaten.
+  // Evaluated before routing so a browned-out source charges no links.
+  const bool brownout_active = faulted && f.brownout_node >= 0 &&
+                               f.brownout_duration > 0;
+  const des::Time brownout_end = f.brownout_start + f.brownout_duration;
+  if (brownout_active && m.src == f.brownout_node &&
+      egress_start < brownout_end && egress_end > f.brownout_start) {
+    ++fault_stats_.brownout_drops;
+    count_fault("net.fault.brownout_drops");
     ++fault_stats_.drops;
     fault_stats_.dropped_bytes += m.wire_bytes;
     count_fault("net.fault.drops");
     return;
   }
 
-  // Last byte reaches the destination after the wire latency (plus any
-  // injected jitter/spike).
-  const des::Time available_at =
-      egress_end + latency(m.src, m.dst) + plan.extra_latency;
+  FaultPlan plan;
+  if (faulted) plan = plan_faults();
+  if (plan.drop) {
+    // The message left the NIC (egress charged, on_sent fired) and died on
+    // the wire before reaching the switch fabric: no link occupancy, no
+    // ingress occupancy, no delivery.
+    ++fault_stats_.drops;
+    fault_stats_.dropped_bytes += m.wire_bytes;
+    count_fault("net.fault.drops");
+    return;
+  }
+
+  // Route the last byte to the destination.  With explicit links every
+  // cross-leaf frame passes per-link FIFO queues (congestion); otherwise
+  // — and for leaf-local traffic, whose only shared resources are the
+  // NIC pipes — the uncongested fixed-latency model applies.  Both
+  // agree bit-for-bit on an idle fabric.
+  des::Time available_at;
+  if (topo_.explicit_links() &&
+      topo_.switch_of(m.src, 0) != topo_.switch_of(m.dst, 0)) {
+    available_at = topo_.traverse(m.src, m.dst, m.wire_bytes, egress_end) +
+                   cfg_.wire_latency;
+  } else {
+    available_at = egress_end + latency(m.src, m.dst);
+  }
+
+  // Destination-side brownout is judged at the modeled arrival time (the
+  // instant the browned-out NIC would see the last byte), closing the
+  // escape where a frame sent before the window landed inside it.  The
+  // frame crossed the fabric, so any link charges above stand.
+  if (brownout_active && m.dst == f.brownout_node &&
+      available_at >= f.brownout_start && available_at < brownout_end) {
+    ++fault_stats_.brownout_drops;
+    count_fault("net.fault.brownout_drops");
+    ++fault_stats_.drops;
+    fault_stats_.dropped_bytes += m.wire_bytes;
+    count_fault("net.fault.drops");
+    return;
+  }
+
+  available_at += plan.extra_latency;
   if (plan.extra_latency > 0 && h_fault_delay_ != nullptr) {
     h_fault_delay_->add(static_cast<double>(plan.extra_latency));
   }
@@ -320,9 +396,26 @@ void Fabric::do_send(Nic& src, Message m, Nic::SentHandler on_sent) {
 
   // Receiver ingress pipe: the port can overlap with the wire (cut-through)
   // but serializes across concurrent senders.
-  const des::Time ingress_start =
-      std::max(available_at - occ, dst.ingress_free_);
-  const des::Time ingress_end = std::max(ingress_start + occ, available_at);
+  des::Time ingress_start = std::max(available_at - occ, dst.ingress_free_);
+  des::Time ingress_end = std::max(ingress_start + occ, available_at);
+
+  // Ingress half of the NIC stall: a frozen NIC also stops draining its
+  // receive port, so arrivals during the window complete after it ends
+  // and a reception in progress freezes mid-transfer.
+  if (faulted && m.dst == f.stall_node && f.stall_duration > 0) {
+    const des::Time stall_end = f.stall_start + f.stall_duration;
+    if (ingress_start >= f.stall_start && ingress_start < stall_end) {
+      ingress_start = stall_end;
+      ingress_end = ingress_start + occ;
+      ++fault_stats_.stalled_msgs;
+      count_fault("net.fault.stalled_msgs");
+    } else if (ingress_start < f.stall_start &&
+               ingress_end > f.stall_start) {
+      ingress_end += f.stall_duration;
+      ++fault_stats_.stalled_msgs;
+      count_fault("net.fault.stalled_msgs");
+    }
+  }
   dst.ingress_free_ = ingress_end;
 
   // One cached observability check per message: histogram handles are
@@ -344,8 +437,10 @@ void Fabric::do_send(Nic& src, Message m, Nic::SentHandler on_sent) {
     sink->span(track, label, ingress_start, ingress_end - ingress_start);
   }
 
+  const auto dst_shard = shard_of(m.dst);
   Delivery* const d = acquire_delivery(dst, std::move(m));
-  eng_.schedule_at(ingress_end, [this, d]() { deliver_and_release(d); });
+  eng_.schedule_on(dst_shard, ingress_end,
+                   [this, d]() { deliver_and_release(d); });
 
   if (dup.has_value()) {
     // The duplicate trails the original through the same ingress pipe, so
@@ -369,7 +464,8 @@ void Fabric::do_send(Nic& src, Message m, Nic::SentHandler on_sent) {
       sink->span(track, label, ingress_end, dup_end - ingress_end);
     }
     Delivery* const dd = acquire_delivery(dst, std::move(*dup));
-    eng_.schedule_at(dup_end, [this, dd]() { deliver_and_release(dd); });
+    eng_.schedule_on(dst_shard, dup_end,
+                     [this, dd]() { deliver_and_release(dd); });
   }
 }
 

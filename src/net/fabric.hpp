@@ -28,6 +28,7 @@
 #include "des/time.hpp"
 #include "net/config.hpp"
 #include "net/message.hpp"
+#include "net/topology.hpp"
 #include "obs/stats.hpp"
 
 namespace net {
@@ -55,6 +56,19 @@ struct FaultStats {
 
 class Fabric;
 class Nic;
+
+/// In-flight delivery record: a message parks here between schedule and
+/// dispatch so the event closure captures two pointers (always inline in
+/// des::InplaceCallback) instead of a whole Message.  Records are
+/// free-list recycled and live in the DESTINATION NIC's slab (see
+/// Nic::delivery_arena_) — per-node state stays per-node, matching the
+/// sharded event queue's slab-per-node layout, and steady-state
+/// allocation per message is zero.
+struct Delivery {
+  Message msg;
+  Nic* dst = nullptr;
+  Delivery* next_free = nullptr;
+};
 
 /// Bump-in-the-wire interposer between the upper communication libraries
 /// and the raw NIC pipes.  ce::ReliableChannel implements this to add
@@ -120,6 +134,11 @@ class Nic {
   NicStats stats_;
   des::Time egress_free_ = 0;
   des::Time ingress_free_ = 0;
+  // This node's delivery-record slab (see net::Delivery): incoming
+  // messages park here, so the hot receive path touches only memory
+  // owned by the destination node.
+  std::vector<std::unique_ptr<Delivery>> delivery_arena_;
+  Delivery* delivery_free_ = nullptr;
 };
 
 class Fabric {
@@ -132,10 +151,19 @@ class Fabric {
 
   Nic& nic(NodeId node) { return *nics_.at(static_cast<std::size_t>(node)); }
 
-  /// Switch hops between two nodes under the two-level fat-tree model.
+  /// The fabric's topology model (hop math, link queues, per-link
+  /// stats).  Link state mutates as messages transit; treat as
+  /// read-only outside the fabric.
+  const Topology& topology() const { return topo_; }
+
+  /// Switch hops between two nodes under the configured topology.
+  /// Node ids are validated — an out-of-range or negative id is a hard
+  /// std::out_of_range, never silent garbage group math.
   int hops(NodeId a, NodeId b) const;
 
-  /// One-way wire latency between two nodes (excludes pipe occupancy).
+  /// One-way wire latency between two nodes (excludes pipe occupancy
+  /// and link congestion; this is the uncongested propagation figure
+  /// RTO estimators want).  Validates node ids like hops().
   des::Duration latency(NodeId a, NodeId b) const;
 
   /// Pure serialization time of `bytes` on one pipe (without the
@@ -175,35 +203,42 @@ class Fabric {
  private:
   friend class Nic;
 
-  /// In-flight delivery record: the message parks here between schedule
-  /// and dispatch so the event closure captures two pointers (always
-  /// inline in des::InplaceCallback) instead of a whole Message.  Records
-  /// are free-list recycled — zero steady-state allocation per message.
-  struct Delivery {
-    Message msg;
-    Nic* dst = nullptr;
-    Delivery* next_free = nullptr;
-  };
   Delivery* acquire_delivery(Nic& dst, Message&& m);
   void deliver_and_release(Delivery* d);
 
   void do_send(Nic& src, Message m, Nic::SentHandler on_sent);
 
+  /// Throws std::out_of_range unless `n` is a valid node id.
+  void check_node(const char* what, NodeId n) const;
+
+ public:
+  /// DES shard carrying a node's events (deliveries, completions,
+  /// per-node protocol timers).  Shard 0 is reserved for non-node work
+  /// (global timers, protocol clocks).
+  static std::uint32_t shard_of(NodeId node) {
+    return static_cast<std::uint32_t>(node) + 1;
+  }
+
+ private:
+
   /// Fault-injection decisions for one cross-node message, drawn in a
   /// fixed order from fault_rng_ (determinism comes from the engine's
-  /// total event order).
+  /// total event order).  Brownout is evaluated separately in do_send
+  /// against the modeled transmit/arrival intervals — it consumes no
+  /// randomness, so hoisting it preserves the per-seed draw sequence.
   struct FaultPlan {
     bool drop = false;
     bool dup = false;
     bool corrupt = false;
     des::Duration extra_latency = 0;  ///< jitter + spike
   };
-  FaultPlan plan_faults(const Message& m, des::Time egress_start);
+  FaultPlan plan_faults();
   void corrupt_in_flight(Message& m);
   void count_fault(const char* name);
 
   des::Engine& eng_;
   FabricConfig cfg_;
+  Topology topo_;
   std::vector<std::unique_ptr<Nic>> nics_;
   std::vector<des::Duration> skew_;
   obs::Recorder* rec_ = nullptr;
@@ -212,8 +247,6 @@ class Fabric {
   obs::Histogram* h_wire_transit_ = nullptr;
   obs::Histogram* h_egress_wait_ = nullptr;
   obs::Histogram* h_fault_delay_ = nullptr;
-  std::vector<std::unique_ptr<Delivery>> delivery_arena_;
-  Delivery* delivery_free_ = nullptr;
   std::uint64_t total_msgs_ = 0;
   std::uint64_t total_bytes_ = 0;
   FaultStats fault_stats_;

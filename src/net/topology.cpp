@@ -1,0 +1,209 @@
+#include "net/topology.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "des/rng.hpp"
+#include "net/config.hpp"
+
+namespace net {
+namespace {
+
+[[noreturn]] void reject_topology(const std::string& what) {
+  throw std::invalid_argument("TopologyConfig: " + what);
+}
+
+int ceil_div(int a, int b) { return (a + b - 1) / b; }
+
+}  // namespace
+
+Topology::Topology(const FabricConfig& cfg, int num_nodes)
+    : num_nodes_(num_nodes),
+      explicit_(cfg.topology.explicit_links),
+      salt_(cfg.topology.route_salt) {
+  const TopologyConfig& t = cfg.topology;
+  if (!std::isfinite(t.oversubscription) || t.oversubscription < 1.0) {
+    reject_topology("oversubscription must be >= 1, got " +
+                    std::to_string(t.oversubscription));
+  }
+
+  // Resolve the tier descriptions; an empty config synthesizes the
+  // legacy two-tier tree (leaf radix = nodes_per_switch, one spanning
+  // spine tier) so hops()/latency() reproduce the historical grouping.
+  std::vector<TopologyLevel> levels = t.levels;
+  if (levels.empty()) {
+    levels.push_back(TopologyLevel{cfg.nodes_per_switch, 0, 0, -1});
+    levels.push_back(TopologyLevel{});  // spanning top tier
+  }
+  if (levels.size() < 2) {
+    reject_topology("levels must describe >= 2 switch tiers "
+                    "(leaf and top), got " +
+                    std::to_string(levels.size()));
+  }
+  if (levels.size() > 16) {  // traverse() uses fixed-depth path buffers
+    reject_topology("levels limited to 16 tiers, got " +
+                    std::to_string(levels.size()));
+  }
+
+  tiers_.resize(levels.size());
+  int below = num_nodes;  // children available to this tier
+  for (std::size_t i = 0; i < levels.size(); ++i) {
+    const TopologyLevel& lv = levels[i];
+    Tier& tier = tiers_[i];
+    const bool top = i + 1 == levels.size();
+    if (top) {
+      // The top tier spans every child below it; radix/uplinks unused.
+      tier.radix = below > 0 ? below : 1;
+      tier.uplinks = 0;
+      tier.count = 1;
+    } else {
+      if (lv.radix < 1) {
+        reject_topology("levels[" + std::to_string(i) +
+                        "].radix must be >= 1, got " +
+                        std::to_string(lv.radix));
+      }
+      tier.radix = lv.radix;
+      tier.count = ceil_div(below, lv.radix);
+      tier.uplinks =
+          lv.uplinks > 0
+              ? lv.uplinks
+              : std::max(1, static_cast<int>(std::ceil(
+                                static_cast<double>(lv.radix) /
+                                t.oversubscription)));
+    }
+    tier.bandwidth_Bps = lv.uplink_bandwidth_Bps > 0
+                             ? lv.uplink_bandwidth_Bps
+                             : cfg.link_bandwidth_Bps;
+    tier.switch_latency =
+        lv.switch_latency >= 0 ? lv.switch_latency : cfg.per_hop_latency;
+    below = tier.count;
+  }
+
+  if (explicit_) {
+    up_.resize(tiers_.size());
+    down_.resize(tiers_.size());
+    for (std::size_t i = 0; i + 1 < tiers_.size(); ++i) {
+      const auto n = static_cast<std::size_t>(tiers_[i].count) *
+                     static_cast<std::size_t>(tiers_[i].uplinks);
+      up_[i].resize(n);
+      down_[i].resize(n);
+    }
+  }
+}
+
+int Topology::switch_of(NodeId node, int tier) const {
+  int sw = node / tiers_[0].radix;
+  for (int l = 1; l <= tier; ++l) sw /= tiers_[l].radix;
+  return sw;
+}
+
+int Topology::hops(NodeId a, NodeId b) const {
+  if (a == b) return 0;
+  int sa = a / tiers_[0].radix;
+  int sb = b / tiers_[0].radix;
+  int tier = 0;
+  // The top tier spans everything, so the walk always terminates there.
+  while (sa != sb) {
+    ++tier;
+    sa /= tiers_[tier].radix;
+    sb /= tiers_[tier].radix;
+  }
+  return 2 * tier + 1;
+}
+
+des::Duration Topology::path_switch_latency(NodeId a, NodeId b) const {
+  if (a == b) return 0;
+  int sa = a / tiers_[0].radix;
+  int sb = b / tiers_[0].radix;
+  int tier = 0;
+  des::Duration below_sum = 0;  // sum of tier latencies under the apex
+  while (sa != sb) {
+    below_sum += tiers_[tier].switch_latency;
+    ++tier;
+    sa /= tiers_[tier].radix;
+    sb /= tiers_[tier].radix;
+  }
+  // 2T+1 switches: each sub-apex tier twice (up side and down side)
+  // plus the apex once.
+  return 2 * below_sum + tiers_[tier].switch_latency;
+}
+
+int Topology::plane(NodeId src, NodeId dst, int tier) const {
+  const std::uint64_t pair =
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 32) |
+      static_cast<std::uint32_t>(dst);
+  const std::uint64_t h =
+      des::derive_seed(salt_ ^ pair, static_cast<std::uint64_t>(tier));
+  return static_cast<int>(h % static_cast<std::uint64_t>(
+                                  tiers_[tier].uplinks));
+}
+
+des::Time Topology::link_pass(LinkStats& link, des::Time arrive,
+                              des::Duration ser, std::uint64_t bytes) {
+  // Cut-through fluid recurrence: the message's first byte may enter
+  // the link while its tail is still upstream, so an idle link adds no
+  // delay (exit == arrive).  A busy link forces the transfer to start
+  // after the FIFO frees and re-serializes it at this link's bandwidth.
+  const des::Time start = std::max(arrive - ser, link.busy_until);
+  const des::Time exit = std::max(start + ser, arrive);
+  link.busy_until = exit;
+  ++link.msgs;
+  link.bytes += bytes;
+  return exit;
+}
+
+des::Time Topology::traverse(NodeId src, NodeId dst, std::uint64_t bytes,
+                             des::Time entry) {
+  // Climb to the apex tier, charging one up link per boundary.
+  int ssrc = src / tiers_[0].radix;
+  int sdst = dst / tiers_[0].radix;
+  int apex = 0;
+  int planes[16];
+  int src_sw[16];
+  int dst_sw[16];
+  while (ssrc != sdst) {
+    src_sw[apex] = ssrc;
+    dst_sw[apex] = sdst;
+    planes[apex] = plane(src, dst, apex);
+    ++apex;
+    ssrc /= tiers_[apex].radix;
+    sdst /= tiers_[apex].radix;
+  }
+  des::Time t = entry;
+  for (int i = 0; i < apex; ++i) {
+    t += tiers_[i].switch_latency;  // traverse the src-side switch
+    const auto ser = des::transfer_time(bytes, tiers_[i].bandwidth_Bps);
+    t = link_pass(up_[i][link_index(i, src_sw[i], planes[i])], t, ser,
+                  bytes);
+  }
+  t += tiers_[apex].switch_latency;  // the apex switch
+  for (int i = apex - 1; i >= 0; --i) {
+    const auto ser = des::transfer_time(bytes, tiers_[i].bandwidth_Bps);
+    t = link_pass(down_[i][link_index(i, dst_sw[i], planes[i])], t, ser,
+                  bytes);
+    if (i > 0) t += tiers_[i].switch_latency;  // dst-side mid switch
+  }
+  t += tiers_[0].switch_latency;  // the dst leaf switch
+  return t;
+}
+
+std::uint64_t Topology::boundary_bytes_up(int tier) const {
+  std::uint64_t sum = 0;
+  for (const LinkStats& l : up_[tier]) sum += l.bytes;
+  return sum;
+}
+
+std::uint64_t Topology::boundary_bytes_down(int tier) const {
+  std::uint64_t sum = 0;
+  for (const LinkStats& l : down_[tier]) sum += l.bytes;
+  return sum;
+}
+
+std::uint64_t Topology::boundary_msgs_up(int tier) const {
+  std::uint64_t sum = 0;
+  for (const LinkStats& l : up_[tier]) sum += l.msgs;
+  return sum;
+}
+
+}  // namespace net

@@ -1,0 +1,173 @@
+// Hierarchical fat-tree topology: explicit switch tiers, per-link
+// serialization queues, and deterministic ECMP routing.
+//
+// The fabric's legacy model prices a cross-leaf message at a fixed
+// 3-hop latency bump and lets NIC pipes do all the queueing.  That is
+// exact for an idle fabric but blind to the two effects that decide
+// whether a many-small-messages runtime scales past a few racks:
+// shared-uplink serialization (oversubscribed leaf switches) and
+// spine congestion (many pairs hashing onto one plane).  This module
+// models both while preserving the legacy timing EXACTLY when links
+// are uncongested: per-link passage uses a cut-through fluid
+// recurrence whose uncongested fixed point is "last byte advances by
+// the switch latency", so an idle fat-tree reproduces
+// wire_latency + hops * per_hop_latency to the nanosecond.
+//
+// Structure: `levels[t]` describes switch tier t bottom-up.  Tier 0
+// switches (leaves) each attach `radix` nodes; tier t switches each
+// attach `radix` tier-(t-1) switches; the top tier spans everything
+// (its radix is ignored).  Each non-top tier-t switch has `uplinks`
+// parallel up-ports (ECMP planes) toward tier t+1.  A message between
+// nodes whose first common switch sits at tier T traverses 2T+1
+// switches and 2T links (T up, T down).
+//
+// Routing is plane-symmetric ECMP: one deterministic hash per tier
+// boundary, derived from (src, dst, salt), picks the plane; the up
+// link at tier t is (src-side tier-t switch, plane) and the down link
+// is (dst-side tier-t switch, plane).  Same pair, same path, always —
+// determinism is a hard invariant, not a tie-break accident.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "des/time.hpp"
+#include "net/message.hpp"
+
+namespace net {
+
+struct FabricConfig;
+
+/// One switch tier, bottom-up.  Defaults of 0 / -1 mean "inherit from
+/// the owning FabricConfig" (resolved at Topology construction).
+struct TopologyLevel {
+  /// Children per switch: nodes for tier 0, tier-(t-1) switches above.
+  /// Ignored on the top tier (it spans all).  Node/switch counts not
+  /// divisible by the radix leave the last switch partially populated —
+  /// explicitly supported, never rounds into a phantom group.
+  int radix = 0;
+
+  /// Parallel up-ports (ECMP planes) toward the next tier.  0 on a
+  /// non-top tier derives ceil(radix / oversubscription).  Ignored on
+  /// the top tier.
+  int uplinks = 0;
+
+  /// Bandwidth of each up/down port at this tier boundary, bytes/sec.
+  /// 0 inherits FabricConfig::link_bandwidth_Bps.
+  double uplink_bandwidth_Bps = 0;
+
+  /// Latency of traversing one switch of this tier.  -1 inherits
+  /// FabricConfig::per_hop_latency.
+  des::Duration switch_latency = -1;
+};
+
+struct TopologyConfig {
+  /// Off (default): the fabric keeps the legacy fixed-latency hop model
+  /// — no link queues, bit-identical to pre-topology builds.  On: every
+  /// cross-leaf message is routed over explicit per-link FIFO queues.
+  bool explicit_links = false;
+
+  /// Downlink:uplink capacity ratio used to derive `uplinks` for levels
+  /// that leave it 0 (assuming equal port bandwidth).
+  double oversubscription = 1.0;
+
+  /// Switch tiers, bottom-up (leaf first, top last).  Empty: a two-tier
+  /// tree is synthesized from FabricConfig::nodes_per_switch.
+  std::vector<TopologyLevel> levels;
+
+  /// Salt for the deterministic ECMP plane hash.
+  std::uint64_t route_salt = 0x57A1E;
+};
+
+/// Per-link counters (tests assert conservation: the sum of link bytes
+/// per boundary equals the fabric's cross-leaf bytes).
+struct LinkStats {
+  std::uint64_t msgs = 0;
+  std::uint64_t bytes = 0;
+  des::Time busy_until = 0;  ///< link FIFO frees at this time
+};
+
+class Topology {
+ public:
+  /// Resolves config defaults against `fabric_cfg` and builds the link
+  /// state for `num_nodes` nodes.  Throws std::invalid_argument on an
+  /// unsatisfiable tier description.
+  Topology(const FabricConfig& fabric_cfg, int num_nodes);
+
+  bool explicit_links() const { return explicit_; }
+  int num_nodes() const { return num_nodes_; }
+  int num_tiers() const { return static_cast<int>(tiers_.size()); }
+  int num_switches(int tier) const { return tiers_[tier].count; }
+  int uplinks(int tier) const { return tiers_[tier].uplinks; }
+
+  /// Tier-`tier` switch containing `node` (tier 0 = leaf).  Assumes a
+  /// valid node id — the Fabric validates at the send boundary.
+  int switch_of(NodeId node, int tier) const;
+
+  /// Switch hops between two nodes: 0 loopback, 2T+1 where T is the
+  /// first tier at which the nodes share a switch.
+  int hops(NodeId a, NodeId b) const;
+
+  /// Sum of switch traversal latencies on the (uncongested) a->b path.
+  /// Equals hops(a, b) * per_hop_latency under inherited defaults.
+  des::Duration path_switch_latency(NodeId a, NodeId b) const;
+
+  /// The ECMP plane used at tier boundary `tier` for src->dst traffic.
+  /// Pure function of (src, dst, tier, salt) — the determinism anchor.
+  int plane(NodeId src, NodeId dst, int tier) const;
+
+  /// Routes one message's last byte through the fat tree: charges every
+  /// traversed link FIFO and returns the time the last byte clears the
+  /// final (dst-leaf) switch.  `entry` is when it leaves the src NIC.
+  /// The caller adds wire/propagation latency and any fault jitter.
+  /// Mutates link state — call exactly once per transmitted frame, in
+  /// event order.  Precondition: explicit_links() and src/dst on
+  /// different leaves (same-leaf traffic never touches a shared link).
+  des::Time traverse(NodeId src, NodeId dst, std::uint64_t bytes,
+                     des::Time entry);
+
+  /// Link introspection for tests: boundary tier t, switch s, plane p.
+  const LinkStats& up_link(int tier, int sw, int plane) const {
+    return up_[tier][link_index(tier, sw, plane)];
+  }
+  const LinkStats& down_link(int tier, int sw, int plane) const {
+    return down_[tier][link_index(tier, sw, plane)];
+  }
+
+  /// Totals across one boundary tier, up and down direction.
+  std::uint64_t boundary_bytes_up(int tier) const;
+  std::uint64_t boundary_bytes_down(int tier) const;
+  std::uint64_t boundary_msgs_up(int tier) const;
+
+ private:
+  struct Tier {
+    int radix = 1;
+    int uplinks = 1;
+    int count = 1;                    ///< switches in this tier
+    double bandwidth_Bps = 1;         ///< per port at this boundary
+    des::Duration switch_latency = 0;
+  };
+
+  std::size_t link_index(int tier, int sw, int plane) const {
+    return static_cast<std::size_t>(sw) *
+               static_cast<std::size_t>(tiers_[tier].uplinks) +
+           static_cast<std::size_t>(plane);
+  }
+
+  /// Cut-through fluid passage: the last byte arrives at the link exit
+  /// no earlier than `arrive`; if the FIFO is busy the message queues.
+  /// Uncongested, exit == arrive (pure pass-through); congested, the
+  /// link serializes at its own bandwidth.
+  des::Time link_pass(LinkStats& link, des::Time arrive,
+                      des::Duration ser, std::uint64_t bytes);
+
+  int num_nodes_ = 0;
+  bool explicit_ = false;
+  std::uint64_t salt_ = 0;
+  std::vector<Tier> tiers_;
+  // Link FIFOs per boundary tier: index = switch * uplinks + plane.
+  std::vector<std::vector<LinkStats>> up_;
+  std::vector<std::vector<LinkStats>> down_;
+};
+
+}  // namespace net

@@ -1,0 +1,172 @@
+// ShardedEventQueue: the load-bearing property is EXACT order equivalence
+// with a monolithic EventQueue — sharding must change where events live,
+// never when they fire.  The fuzz test drives both queues with an
+// identical randomized operation mix (schedule on random shards, cancel,
+// reschedule, pop) and requires identical pop sequences.
+#include "des/sharded_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "des/event_queue.hpp"
+#include "des/rng.hpp"
+
+namespace des {
+namespace {
+
+TEST(ShardedQueue, SingleShardBasicOrder) {
+  ShardedEventQueue q(1);
+  std::vector<int> fired;
+  q.schedule(0, 30, [&] { fired.push_back(3); });
+  q.schedule(0, 10, [&] { fired.push_back(1); });
+  q.schedule(0, 20, [&] { fired.push_back(2); });
+  EXPECT_EQ(q.size(), 3u);
+  EXPECT_EQ(q.next_time(), 10);
+  while (!q.empty()) {
+    auto f = q.pop();
+    f.fn();
+  }
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(ShardedQueue, CrossShardFifoTieBreak) {
+  // Equal timestamps across DIFFERENT shards must fire in global
+  // scheduling order — the property that makes sharding invisible.
+  ShardedEventQueue q(4);
+  std::vector<int> fired;
+  q.schedule(2, 100, [&] { fired.push_back(0); });
+  q.schedule(0, 100, [&] { fired.push_back(1); });
+  q.schedule(3, 100, [&] { fired.push_back(2); });
+  q.schedule(1, 100, [&] { fired.push_back(3); });
+  q.schedule(2, 100, [&] { fired.push_back(4); });
+  while (!q.empty()) {
+    auto f = q.pop();
+    EXPECT_EQ(f.time, 100);
+    f.fn();
+  }
+  EXPECT_EQ(fired, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ShardedQueue, GrowOnDemandPreservesOrder) {
+  // Start single-shard (fast path), then schedule onto a high shard index:
+  // the 1 -> N transition must seed the candidate heap with the existing
+  // shard-0 front or earlier events would be lost from the merge.
+  ShardedEventQueue q(1);
+  std::vector<int> fired;
+  q.schedule(0, 10, [&] { fired.push_back(1); });
+  q.schedule(0, 50, [&] { fired.push_back(5); });
+  q.schedule(7, 20, [&] { fired.push_back(2); });  // grows to 8 shards
+  EXPECT_EQ(q.num_shards(), 8u);
+  q.schedule(3, 40, [&] { fired.push_back(4); });
+  q.schedule(7, 30, [&] { fired.push_back(3); });
+  while (!q.empty()) {
+    auto f = q.pop();
+    f.fn();
+  }
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3, 4, 5}));
+}
+
+TEST(ShardedQueue, CancelAndRescheduleAcrossShards) {
+  ShardedEventQueue q(3);
+  std::vector<int> fired;
+  auto a = q.schedule(0, 10, [&] { fired.push_back(1); });
+  auto b = q.schedule(1, 20, [&] { fired.push_back(2); });
+  auto c = q.schedule(2, 30, [&] { fired.push_back(3); });
+  EXPECT_TRUE(q.cancel(b));
+  EXPECT_FALSE(q.cancel(b));  // already gone
+  EXPECT_TRUE(q.reschedule(c, 5));  // now fires before a
+  EXPECT_EQ(q.next_time(), 5);
+  while (!q.empty()) {
+    auto f = q.pop();
+    f.fn();
+  }
+  EXPECT_EQ(fired, (std::vector<int>{3, 1}));
+  EXPECT_FALSE(q.cancel(a));  // fired events cannot be cancelled
+}
+
+TEST(ShardedQueue, SafeHorizonIsMinOtherShardPlusLookahead) {
+  ShardedEventQueue q(4);
+  q.schedule(0, 100, [] {});
+  q.schedule(1, 250, [] {});
+  q.schedule(2, 400, [] {});
+  // Shard 3 empty.  Horizon of shard 0 = min(250, 400) + lookahead.
+  EXPECT_EQ(q.safe_horizon(0, 600), 250 + 600);
+  // Horizon of shard 1 = min(100, 400) + lookahead.
+  EXPECT_EQ(q.safe_horizon(1, 600), 100 + 600);
+  // With every other shard empty the horizon is unbounded.
+  ShardedEventQueue lone(4);
+  lone.schedule(2, 77, [] {});
+  EXPECT_EQ(lone.safe_horizon(2, 600), kTimeNever);
+}
+
+// The equivalence oracle: a monolithic EventQueue fed the identical
+// schedule/cancel/reschedule/pop sequence.  Payloads are unique ints so
+// order mismatches cannot cancel out.
+TEST(ShardedQueue, FuzzExactEquivalenceWithMonolithicQueue) {
+  for (std::uint64_t seed : {1ull, 42ull, 20260808ull}) {
+    Rng rng(seed);
+    constexpr std::uint32_t kShards = 9;  // deliberately not a power of 2
+    ShardedEventQueue sharded(1);         // force the grow path too
+    EventQueue mono;
+    std::vector<std::pair<ShardedEventQueue::Id, EventId>> live;
+    std::vector<int> fired_sharded, fired_mono;
+    int payload = 0;
+    Time max_popped = 0;
+
+    for (int op = 0; op < 20000; ++op) {
+      const std::uint64_t dice = rng() % 100;
+      if (dice < 55 || live.empty()) {
+        const Time t = max_popped + static_cast<Time>(rng() % 64);
+        const auto shard =
+            static_cast<std::uint32_t>(rng() % kShards);
+        const int p = payload++;
+        auto sid = sharded.schedule(shard, t, [&, p] {
+          fired_sharded.push_back(p);
+        });
+        auto mid = mono.schedule(t, [&, p] { fired_mono.push_back(p); });
+        live.emplace_back(sid, mid);
+      } else if (dice < 70) {
+        const std::size_t pick = rng() % live.size();
+        const bool a = sharded.cancel(live[pick].first);
+        const bool b = mono.cancel(live[pick].second);
+        ASSERT_EQ(a, b);
+        live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+      } else if (dice < 80) {
+        const std::size_t pick = rng() % live.size();
+        const Time t = max_popped + static_cast<Time>(rng() % 64);
+        const bool a = sharded.reschedule(live[pick].first, t);
+        const bool b = mono.reschedule(live[pick].second, t);
+        ASSERT_EQ(a, b);
+      } else {
+        ASSERT_EQ(sharded.empty(), mono.empty());
+        if (!sharded.empty()) {
+          ASSERT_EQ(sharded.next_time(), mono.next_time());
+          auto fs = sharded.pop();
+          auto fm = mono.pop();
+          ASSERT_EQ(fs.time, fm.time);
+          max_popped = fs.time;
+          fs.fn();
+          fm.fn();
+          ASSERT_EQ(fired_sharded.back(), fired_mono.back());
+        }
+      }
+      ASSERT_EQ(sharded.size(), mono.size());
+    }
+    // Drain both and require the full residual order to match.
+    while (!mono.empty()) {
+      ASSERT_FALSE(sharded.empty());
+      auto fs = sharded.pop();
+      auto fm = mono.pop();
+      ASSERT_EQ(fs.time, fm.time);
+      fs.fn();
+      fm.fn();
+    }
+    EXPECT_TRUE(sharded.empty());
+    EXPECT_EQ(fired_sharded, fired_mono);
+  }
+}
+
+}  // namespace
+}  // namespace des

@@ -342,6 +342,111 @@ TEST(FaultInjection, StallFreezesEgressWindow) {
   EXPECT_EQ(fab.fault_stats().stalled_msgs, 1u);
 }
 
+TEST(FaultInjection, StallFreezesInFlightEgressMidTransfer) {
+  // Regression: a transfer already on the wire when the stall window
+  // opens used to keep transmitting straight through it.  100000 B
+  // starts at t=0 (10 us serialization); the window [5 us, 55 us)
+  // freezes the NIC mid-transfer, inserting the full 50 us: egress ends
+  // at 60 us, delivery at 61 us.  Pre-fix delivery was 11 us.
+  Engine eng;
+  FabricConfig cfg = simple_config();
+  cfg.faults.stall_node = 0;
+  cfg.faults.stall_start = 5 * des::kMicrosecond;
+  cfg.faults.stall_duration = 50 * des::kMicrosecond;
+  Fabric fab(eng, 2, cfg);
+  des::Time delivered = -1;
+  fab.nic(1).set_deliver_handler([&](Message&&) { delivered = eng.now(); });
+  fab.nic(0).send(msg(0, 1, 100000));
+  eng.run();
+  EXPECT_EQ(delivered, 61 * des::kMicrosecond);
+  EXPECT_EQ(fab.fault_stats().stalled_msgs, 1u);
+}
+
+TEST(FaultInjection, StallFreezesIngressToo) {
+  // A stalled NIC stops draining its receive port as well: a frame
+  // arriving during node 1's stall window [5 us, 55 us) completes
+  // reception only after the window ends.  Sent at 10 us (64 B, 100 ns
+  // occupancy): nominal arrival 11.1 us, actual completion 55.1 us.
+  Engine eng;
+  FabricConfig cfg = simple_config();
+  cfg.faults.stall_node = 1;
+  cfg.faults.stall_start = 5 * des::kMicrosecond;
+  cfg.faults.stall_duration = 50 * des::kMicrosecond;
+  Fabric fab(eng, 2, cfg);
+  des::Time delivered = -1;
+  fab.nic(1).set_deliver_handler([&](Message&&) { delivered = eng.now(); });
+  eng.schedule_at(10 * des::kMicrosecond,
+                  [&] { fab.nic(0).send(msg(0, 1, 64)); });
+  eng.run();
+  EXPECT_EQ(delivered, 55 * des::kMicrosecond + 100);
+  EXPECT_EQ(fab.fault_stats().stalled_msgs, 1u);
+}
+
+TEST(FaultInjection, BrownoutCatchesMessageQueuedBeforeButSentInWindow) {
+  // Regression: brownout used to be judged at queue-entry time, so a
+  // message parked behind a long transfer escaped a window it actually
+  // transmitted inside.  A (90000 B) occupies egress [0, 9 us) and
+  // finishes before the window [10 us, 110 us) — delivered.  B (64000
+  // B), queued at t=0 behind A, transmits [9 us, 15.4 us) overlapping
+  // the window — eaten.
+  Engine eng;
+  FabricConfig cfg = simple_config();
+  cfg.faults.brownout_node = 0;
+  cfg.faults.brownout_start = 10 * des::kMicrosecond;
+  cfg.faults.brownout_duration = 100 * des::kMicrosecond;
+  Fabric fab(eng, 2, cfg);
+  int delivered = 0;
+  fab.nic(1).set_deliver_handler([&](Message&&) { ++delivered; });
+  fab.nic(0).send(msg(0, 1, 90000));
+  fab.nic(0).send(msg(0, 1, 64000));
+  eng.run();
+  EXPECT_EQ(delivered, 1);
+  EXPECT_EQ(fab.fault_stats().brownout_drops, 1u);
+}
+
+TEST(FaultInjection, BrownoutCatchesArrivalInsideWindow) {
+  // Destination-side brownout is judged at the modeled arrival time: a
+  // 64 B frame sent at 9.5 us arrives at 10.6 us, inside node 1's
+  // window [10 us, 110 us) — eaten, even though it was sent before the
+  // window opened (the pre-fix escape).
+  Engine eng;
+  FabricConfig cfg = simple_config();
+  cfg.faults.brownout_node = 1;
+  cfg.faults.brownout_start = 10 * des::kMicrosecond;
+  cfg.faults.brownout_duration = 100 * des::kMicrosecond;
+  Fabric fab(eng, 2, cfg);
+  int delivered = 0;
+  fab.nic(1).set_deliver_handler([&](Message&&) { ++delivered; });
+  eng.schedule_at(9500, [&] { fab.nic(0).send(msg(0, 1, 64)); });
+  eng.run();
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(fab.fault_stats().brownout_drops, 1u);
+}
+
+TEST(FaultInjection, BrownoutWindowBoundariesAreHalfOpen) {
+  // Pin the boundary semantics: a transmission ending exactly at the
+  // window start escapes, and one starting exactly at the window end
+  // escapes — [start, end) on the source side, arrival in [start, end)
+  // on the destination side.
+  Engine eng;
+  FabricConfig cfg = simple_config();
+  cfg.faults.brownout_node = 0;
+  cfg.faults.brownout_start = 10 * des::kMicrosecond;
+  cfg.faults.brownout_duration = 100 * des::kMicrosecond;
+  Fabric fab(eng, 2, cfg);
+  int delivered = 0;
+  fab.nic(1).set_deliver_handler([&](Message&&) { ++delivered; });
+  // 100000 B from t=0: egress exactly [0, 10 us) — last byte leaves as
+  // the window opens; half-open means it escapes.
+  fab.nic(0).send(msg(0, 1, 100000));
+  // Egress starts exactly at the window end: escapes.
+  eng.schedule_at(110 * des::kMicrosecond,
+                  [&] { fab.nic(0).send(msg(0, 1, 64)); });
+  eng.run();
+  EXPECT_EQ(delivered, 2);
+  EXPECT_EQ(fab.fault_stats().brownout_drops, 0u);
+}
+
 TEST(FaultInjection, LoopbackIsNeverFaulted) {
   Engine eng;
   FabricConfig cfg = simple_config();

@@ -1,0 +1,352 @@
+// Fat-tree topology: hop math and node-id validation, uncongested
+// equivalence with the legacy fixed-latency model, shared-uplink
+// congestion, deterministic ECMP routing, link-byte conservation, and
+// congestion determinism under a fault-heavy soak.
+#include "net/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <tuple>
+#include <vector>
+
+#include "des/engine.hpp"
+#include "des/rng.hpp"
+#include "net/fabric.hpp"
+
+namespace {
+
+using des::Engine;
+using net::Fabric;
+using net::FabricConfig;
+using net::Message;
+using net::TopologyLevel;
+
+// Round numbers: 10 GB/s links (1 ns/10 B), 1 us wire, 100 ns per hop,
+// 4-node leaves, message-rate floor of 100 ns.
+FabricConfig base_config() {
+  FabricConfig cfg;
+  cfg.link_bandwidth_Bps = 10e9;
+  cfg.wire_latency = 1000;
+  cfg.per_hop_latency = 100;
+  cfg.nodes_per_switch = 4;
+  cfg.nic_msg_rate = 10e6;
+  return cfg;
+}
+
+Message msg(net::NodeId src, net::NodeId dst, std::uint64_t bytes) {
+  Message m;
+  m.src = src;
+  m.dst = dst;
+  m.wire_bytes = bytes;
+  return m;
+}
+
+// ---------------------------------------------------------------------------
+// Node-id validation (send-time hard errors, not garbage group math)
+
+TEST(TopologyValidation, HopsRejectsOutOfRangeIds) {
+  Engine eng;
+  Fabric fab(eng, 8, base_config());
+  EXPECT_THROW(fab.hops(-1, 0), std::out_of_range);
+  EXPECT_THROW(fab.hops(0, -3), std::out_of_range);
+  EXPECT_THROW(fab.hops(8, 0), std::out_of_range);
+  EXPECT_THROW(fab.hops(0, 100), std::out_of_range);
+  EXPECT_THROW(fab.latency(-1, 2), std::out_of_range);
+  EXPECT_THROW(fab.latency(2, 8), std::out_of_range);
+}
+
+TEST(TopologyValidation, RawSendRejectsInvalidDestination) {
+  Engine eng;
+  Fabric fab(eng, 4, base_config());
+  EXPECT_THROW(fab.nic(0).raw_send(msg(0, -1, 64)), std::out_of_range);
+  EXPECT_THROW(fab.nic(0).raw_send(msg(0, 4, 64)), std::out_of_range);
+}
+
+TEST(TopologyValidation, RawSendRejectsForeignSource) {
+  Engine eng;
+  Fabric fab(eng, 4, base_config());
+  EXPECT_THROW(fab.nic(0).raw_send(msg(1, 2, 64)), std::invalid_argument);
+}
+
+TEST(TopologyValidation, PartialLastLeafIsExplicitlySupported) {
+  // 10 nodes on 4-node leaves: leaves {0..3}, {4..7}, {8, 9} — the last
+  // leaf is half-populated, never rounded into a phantom group.
+  Engine eng;
+  Fabric fab(eng, 10, base_config());
+  EXPECT_EQ(fab.hops(8, 9), 1);   // both on the partial leaf
+  EXPECT_EQ(fab.hops(7, 8), 3);   // full leaf <-> partial leaf
+  EXPECT_EQ(fab.hops(0, 9), 3);
+  EXPECT_EQ(fab.topology().num_switches(0), 3);
+}
+
+TEST(TopologyValidation, BadTierDescriptionsAreRejected) {
+  Engine eng;
+  FabricConfig cfg = base_config();
+  cfg.topology.levels = {TopologyLevel{0, 1, 0, -1}, TopologyLevel{}};
+  EXPECT_THROW(Fabric(eng, 8, cfg), std::invalid_argument);
+
+  cfg = base_config();
+  cfg.topology.levels = {TopologyLevel{4, 1, 0, -1}};  // no top tier
+  EXPECT_THROW(Fabric(eng, 8, cfg), std::invalid_argument);
+
+  cfg = base_config();
+  cfg.topology.oversubscription = 0.5;
+  EXPECT_THROW(Fabric(eng, 8, cfg), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Hop math
+
+TEST(TopologyHops, ThreeTierCountsAndSymmetry) {
+  // 16 nodes: 4-node leaves, 2 leaves per pod, spanning top tier.
+  FabricConfig cfg = base_config();
+  cfg.topology.levels = {TopologyLevel{4, 2, 0, -1},
+                         TopologyLevel{2, 2, 0, -1}, TopologyLevel{}};
+  Engine eng;
+  Fabric fab(eng, 16, cfg);
+  EXPECT_EQ(fab.hops(0, 0), 0);
+  EXPECT_EQ(fab.hops(0, 3), 1);   // same leaf
+  EXPECT_EQ(fab.hops(0, 5), 3);   // same pod, different leaf
+  EXPECT_EQ(fab.hops(0, 9), 5);   // across pods
+  EXPECT_EQ(fab.hops(12, 15), 1);
+  for (net::NodeId a = 0; a < 16; ++a) {
+    for (net::NodeId b = 0; b < 16; ++b) {
+      EXPECT_EQ(fab.hops(a, b), fab.hops(b, a)) << a << "," << b;
+    }
+  }
+  // Latency follows the hop count under inherited per-hop latency.
+  EXPECT_EQ(fab.latency(0, 9), 1000 + 5 * 100);
+}
+
+TEST(TopologyHops, OversubscriptionDerivesUplinkCount) {
+  FabricConfig cfg = base_config();
+  cfg.topology.explicit_links = true;
+  cfg.topology.oversubscription = 4.0;
+  cfg.topology.levels = {TopologyLevel{8, 0, 0, -1}, TopologyLevel{}};
+  Engine eng;
+  Fabric fab(eng, 32, cfg);
+  EXPECT_EQ(fab.topology().uplinks(0), 2);  // ceil(8 / 4)
+}
+
+TEST(TopologyHops, ExpanseFatTreePreset) {
+  FabricConfig cfg = net::expanse_fat_tree_config();
+  Engine eng;
+  Fabric fab(eng, 112, cfg);  // two full 56-node racks
+  EXPECT_TRUE(fab.topology().explicit_links());
+  EXPECT_EQ(fab.topology().num_switches(0), 2);
+  EXPECT_EQ(fab.topology().uplinks(0), 7);
+  EXPECT_EQ(fab.hops(0, 55), 1);
+  EXPECT_EQ(fab.hops(0, 56), 3);
+}
+
+// ---------------------------------------------------------------------------
+// Timing: explicit links vs the legacy fixed-latency model
+
+// Runs one message schedule on a fabric and returns the delivery times.
+template <typename SendFn>
+std::vector<des::Time> run_schedule(const FabricConfig& cfg, int nodes,
+                                    SendFn&& sends) {
+  Engine eng;
+  Fabric fab(eng, nodes, cfg);
+  std::vector<des::Time> delivered;
+  for (int n = 0; n < nodes; ++n) {
+    fab.nic(n).set_deliver_handler(
+        [&delivered, &eng](Message&&) { delivered.push_back(eng.now()); });
+  }
+  sends(eng, fab);
+  eng.run();
+  return delivered;
+}
+
+TEST(TopologyTiming, UncongestedFatTreeMatchesLegacyExactly) {
+  // Spaced-out traffic never queues on a shared link, so the explicit
+  // fat tree must reproduce the fixed-latency model to the nanosecond
+  // — the property that keeps fig4/fig5 bit-identical by default.
+  auto sends = [](Engine& eng, Fabric& fab) {
+    des::Time t = 0;
+    for (int i = 0; i < 12; ++i) {
+      const net::NodeId src = i % 8;
+      const net::NodeId dst = (i * 5 + 3) % 8;
+      if (src == dst) continue;
+      eng.schedule_at(t, [&fab, src, dst, i] {
+        fab.nic(src).send(msg(src, dst, 200 + 400 * i));
+      });
+      t += 20000;  // 20 us apart: every queue drains between sends
+    }
+  };
+  FabricConfig legacy = base_config();
+  FabricConfig fat = base_config();
+  fat.topology.explicit_links = true;
+  EXPECT_EQ(run_schedule(legacy, 8, sends), run_schedule(fat, 8, sends));
+}
+
+TEST(TopologyTiming, SharedUplinkSerializesCongestedSenders) {
+  // Two 10000 B messages (1 us serialization each) leave leaf 0 for
+  // leaf 1 at t=0 through a single uplink plane.  The first rides the
+  // legacy timing (egress 1000 + wire 1000 + 3 hops x 100 = 2300); the
+  // second queues one serialization behind it on the shared uplink.
+  FabricConfig cfg = base_config();
+  cfg.topology.explicit_links = true;
+  cfg.topology.levels = {TopologyLevel{4, 1, 0, -1}, TopologyLevel{}};
+  Engine eng;
+  Fabric fab(eng, 8, cfg);
+  std::vector<std::pair<des::Time, net::NodeId>> delivered;
+  for (int n = 4; n < 8; ++n) {
+    fab.nic(n).set_deliver_handler([&delivered, &eng, n](Message&&) {
+      delivered.emplace_back(eng.now(), n);
+    });
+  }
+  fab.nic(0).send(msg(0, 4, 10000));
+  fab.nic(1).send(msg(1, 5, 10000));
+  eng.run();
+  ASSERT_EQ(delivered.size(), 2u);
+  EXPECT_EQ(delivered[0], (std::pair<des::Time, net::NodeId>{2300, 4}));
+  EXPECT_EQ(delivered[1], (std::pair<des::Time, net::NodeId>{3300, 5}));
+  // Both frames crossed the same up and down links.
+  EXPECT_EQ(fab.topology().up_link(0, 0, 0).msgs, 2u);
+  EXPECT_EQ(fab.topology().down_link(0, 1, 0).msgs, 2u);
+  EXPECT_EQ(fab.topology().up_link(0, 0, 0).bytes, 20000u);
+}
+
+TEST(TopologyTiming, FasterUplinksAbsorbCongestion) {
+  // Same contention pattern, but the uplink runs at 4x the node rate:
+  // the second message re-serializes at 0.25 us instead of 1 us.
+  FabricConfig cfg = base_config();
+  cfg.topology.explicit_links = true;
+  cfg.topology.levels = {TopologyLevel{4, 1, 40e9, -1}, TopologyLevel{}};
+  Engine eng;
+  Fabric fab(eng, 8, cfg);
+  std::vector<des::Time> delivered;
+  for (int n = 4; n < 8; ++n) {
+    fab.nic(n).set_deliver_handler(
+        [&delivered, &eng](Message&&) { delivered.push_back(eng.now()); });
+  }
+  fab.nic(0).send(msg(0, 4, 10000));
+  fab.nic(1).send(msg(1, 5, 10000));
+  eng.run();
+  ASSERT_EQ(delivered.size(), 2u);
+  EXPECT_EQ(delivered[0], 2300);
+  // Only the uplink queues (0.25 us); the downlink drained in time.
+  EXPECT_EQ(delivered[1], 2300 + 250);
+}
+
+// ---------------------------------------------------------------------------
+// Routing determinism and conservation
+
+TEST(TopologyRouting, PlaneSelectionIsDeterministicPerPair) {
+  FabricConfig cfg = base_config();
+  cfg.topology.explicit_links = true;
+  cfg.topology.levels = {TopologyLevel{4, 4, 0, -1}, TopologyLevel{}};
+  Engine eng1, eng2;
+  Fabric fab1(eng1, 16, cfg);
+  Fabric fab2(eng2, 16, cfg);
+  for (net::NodeId s = 0; s < 16; ++s) {
+    for (net::NodeId d = 0; d < 16; ++d) {
+      const int p = fab1.topology().plane(s, d, 0);
+      EXPECT_GE(p, 0);
+      EXPECT_LT(p, 4);
+      // Same pair, same plane — across calls and across instances.
+      EXPECT_EQ(p, fab1.topology().plane(s, d, 0));
+      EXPECT_EQ(p, fab2.topology().plane(s, d, 0));
+    }
+  }
+}
+
+TEST(TopologyRouting, SaltReshufflesPlanes) {
+  FabricConfig a = base_config();
+  a.topology.explicit_links = true;
+  a.topology.levels = {TopologyLevel{4, 8, 0, -1}, TopologyLevel{}};
+  FabricConfig b = a;
+  b.topology.route_salt = 0xD1FF;
+  Engine eng1, eng2;
+  Fabric fab1(eng1, 64, a);
+  Fabric fab2(eng2, 64, b);
+  int differing = 0;
+  for (net::NodeId s = 0; s < 64; ++s) {
+    for (net::NodeId d = 0; d < 64; ++d) {
+      if (fab1.topology().plane(s, d, 0) != fab2.topology().plane(s, d, 0)) {
+        ++differing;
+      }
+    }
+  }
+  EXPECT_GT(differing, 0);  // a different salt routes differently
+}
+
+TEST(TopologyRouting, LinkByteConservation) {
+  // Every cross-leaf byte crosses exactly one up link and one down
+  // link; leaf-local bytes cross none.
+  FabricConfig cfg = base_config();
+  cfg.topology.explicit_links = true;
+  cfg.topology.levels = {TopologyLevel{4, 2, 0, -1}, TopologyLevel{}};
+  Engine eng;
+  Fabric fab(eng, 12, cfg);
+  for (int n = 0; n < 12; ++n) {
+    fab.nic(n).set_deliver_handler([](Message&&) {});
+  }
+  std::uint64_t cross_bytes = 0, cross_msgs = 0;
+  des::Rng rng(7);
+  des::Time t = 0;
+  for (int i = 0; i < 400; ++i) {
+    const auto src = static_cast<net::NodeId>(rng() % 12);
+    const auto dst = static_cast<net::NodeId>(rng() % 12);
+    if (src == dst) continue;
+    const std::uint64_t bytes = 64 + rng() % 8000;
+    if (src / 4 != dst / 4) {
+      cross_bytes += bytes;
+      ++cross_msgs;
+    }
+    eng.schedule_at(t, [&fab, src, dst, bytes] {
+      fab.nic(src).send(msg(src, dst, bytes));
+    });
+    t += static_cast<des::Duration>(rng() % 2000);
+  }
+  eng.run();
+  const net::Topology& topo = fab.topology();
+  EXPECT_EQ(topo.boundary_bytes_up(0), cross_bytes);
+  EXPECT_EQ(topo.boundary_bytes_down(0), cross_bytes);
+  EXPECT_EQ(topo.boundary_msgs_up(0), cross_msgs);
+}
+
+TEST(TopologyRouting, CongestionIsDeterministicUnderFaultSoak) {
+  // Explicit links + every probabilistic fault on: two identical runs
+  // must produce identical delivery sequences and link counters.
+  auto run = [] {
+    FabricConfig cfg = base_config();
+    cfg.topology.explicit_links = true;
+    cfg.topology.levels = {TopologyLevel{4, 2, 0, -1}, TopologyLevel{}};
+    cfg.faults.drop_prob = 0.05;
+    cfg.faults.dup_prob = 0.05;
+    cfg.faults.corrupt_prob = 0.05;
+    cfg.faults.spike_prob = 0.1;
+    cfg.faults.spike_max = 3000;
+    cfg.faults.jitter_max = 500;
+    Engine eng;
+    Fabric fab(eng, 16, cfg);
+    std::vector<std::tuple<des::Time, net::NodeId>> log;
+    for (int n = 0; n < 16; ++n) {
+      fab.nic(n).set_deliver_handler([&log, &eng, n](Message&&) {
+        log.emplace_back(eng.now(), n);
+      });
+    }
+    des::Rng rng(99);
+    des::Time t = 0;
+    for (int i = 0; i < 600; ++i) {
+      const auto src = static_cast<net::NodeId>(rng() % 16);
+      const auto dst = static_cast<net::NodeId>(rng() % 16);
+      if (src == dst) continue;
+      const std::uint64_t bytes = 64 + rng() % 4000;
+      eng.schedule_at(t, [&fab, src, dst, bytes] {
+        fab.nic(src).send(msg(src, dst, bytes));
+      });
+      t += static_cast<des::Duration>(rng() % 700);
+    }
+    eng.run();
+    return std::make_tuple(log, fab.topology().boundary_bytes_up(0),
+                           fab.total_messages(), fab.fault_stats().drops);
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
