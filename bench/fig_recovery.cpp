@@ -1,0 +1,255 @@
+// Crash-recovery overhead sweep: the fig5 fingerprint problem (N = 36,000
+// TLR Cholesky, 3,000-wide tiles) run on 8-32 nodes with the full
+// crash-tolerance stack — failure detector, reliable dead-peer fast-fail,
+// and lineage re-execution — while k in {0, 1, 2, 4} fail-stop crashes
+// land at evenly spaced fractions of the clean makespan.
+//
+// Per (nodes, backend) the sweep emits a tolerance-off baseline row, a
+// tolerance-on-no-crash row (the steady-state tax of heartbeats plus
+// lineage tracking), and one row per crash count with the recovery
+// overhead, re-execution counts, and failure-detection latency.  On 8
+// nodes the tolerance-off baseline is additionally checked against the
+// pinned fig5 fingerprints — recovery work must never perturb the
+// fault-free schedule — and the binary exits non-zero on drift.
+// Emits BENCH_recovery.json.
+//
+//   fig_recovery [--smoke] [--out FILE]
+//
+// --smoke shrinks the sweep (8 nodes, k <= 2) so CI can validate the
+// schema and the fingerprints in seconds; timings in smoke are real data
+// here because the problem is identical — only coverage shrinks.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util/harness.hpp"
+#include "des/time.hpp"
+#include "hicma/driver.hpp"
+
+namespace {
+
+struct RunSpec {
+  int nodes;
+  ce::BackendKind backend;
+  bool ft;  ///< crash-tolerance stack (FD + reliable + lineage) enabled
+  int k;    ///< fail-stop crashes injected
+};
+
+struct RunResult {
+  RunSpec spec;
+  bool ok = false;
+  double tts_s = 0;
+  double overhead = 0;  ///< tts / same-config clean (ft on, k = 0) tts - 1
+  std::uint64_t reexecuted = 0;
+  std::uint64_t reannounces = 0;
+  std::uint64_t deaths = 0;
+  double detect_p99_ms = 0;  ///< failure-detection latency (ground truth)
+  std::uint64_t msgs = 0;
+  std::uint64_t bytes = 0;
+  double wall_s = 0;
+};
+
+// Distinct victims, never rank 0, spread over the machine (matches the
+// crash-soak integration test so results cross-check).
+constexpr int kVictims[] = {1, 3, 5, 6};
+
+RunResult run_one(const RunSpec& spec, int n, int nb, des::Duration clean_ns,
+                  double clean_tts_s) {
+  hicma::ExperimentConfig cfg;
+  cfg.nodes = spec.nodes;
+  cfg.backend = spec.backend;
+  cfg.tlr.mode = hicma::TlrOptions::Mode::Model;
+  cfg.tlr.n = n;
+  cfg.tlr.nb = nb;
+  if (spec.ft) {
+    cfg.rt.ft.enabled = true;
+    cfg.ce.fd.enabled = true;
+    cfg.ce.reliable.enabled = true;
+  }
+  for (int i = 0; i < spec.k; ++i) {
+    // Crash times at fractions (i+1)/(k+1) of the clean makespan: every
+    // crash lands while work is provably still in flight.
+    cfg.fabric.faults.crashes.push_back(
+        net::CrashEvent{kVictims[i], clean_ns * (i + 1) / (spec.k + 1), 0});
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto res = hicma::run_tlr_cholesky(cfg);
+  const auto t1 = std::chrono::steady_clock::now();
+  bench::metrics_accumulator().merge(res.metrics);
+
+  RunResult r;
+  r.spec = spec;
+  r.ok = res.run_status == amt::RunStatus::Ok;
+  r.tts_s = res.tts_s;
+  r.overhead = clean_tts_s > 0 ? res.tts_s / clean_tts_s - 1.0 : 0.0;
+  r.reexecuted = res.runtime_stats.tasks_reexecuted;
+  r.reannounces = res.runtime_stats.reannounces;
+  const obs::Counter* dead = res.metrics.find_counter("ce.fd.dead");
+  r.deaths = dead ? dead->value() : 0;
+  const obs::Histogram* det = res.metrics.find_histogram("ce.fd.detect_ns");
+  r.detect_p99_ms = det ? det->p99() / 1e6 : 0.0;
+  r.msgs = res.fabric_messages;
+  r.bytes = res.fabric_bytes;
+  r.wall_s = std::chrono::duration<double>(t1 - t0).count();
+  return r;
+}
+
+const char* backend_key(ce::BackendKind k) {
+  return k == ce::BackendKind::Lci ? "lci" : "mpi";
+}
+
+// Pinned 8-node fingerprints from tests/integration/fingerprint_test.cpp:
+// the tolerance-off baseline must reproduce them bit-for-bit, proving the
+// recovery layer costs the fault-free path nothing.
+bool check_fingerprint(ce::BackendKind backend, const RunResult& r) {
+  struct Pin {
+    ce::BackendKind backend;
+    double tts_s;
+    std::uint64_t msgs;
+    std::uint64_t bytes;
+  };
+  static constexpr Pin kPins[] = {
+      {ce::BackendKind::Lci, 2.5041015840000003, 2674, 1145289249},
+      {ce::BackendKind::Mpi, 2.5595929630000001, 2671, 1145289051},
+  };
+  for (const Pin& p : kPins) {
+    if (p.backend != backend) continue;
+    if (r.tts_s == p.tts_s && r.msgs == p.msgs && r.bytes == p.bytes) {
+      std::printf("fingerprint_ok backend=%s\n", backend_key(backend));
+      return true;
+    }
+    std::fprintf(stderr,
+                 "fingerprint MISMATCH backend=%s: tts %.17g (want %.17g) "
+                 "msgs %llu (want %llu) bytes %llu (want %llu)\n",
+                 backend_key(backend), r.tts_s, p.tts_s,
+                 static_cast<unsigned long long>(r.msgs),
+                 static_cast<unsigned long long>(p.msgs),
+                 static_cast<unsigned long long>(r.bytes),
+                 static_cast<unsigned long long>(p.bytes));
+    return false;
+  }
+  return true;  // no pin for this backend
+}
+
+void write_json(const std::string& path, bool smoke, int n, int nb,
+                const std::vector<RunResult>& runs) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"fig_recovery\",\n");
+  std::fprintf(f, "  \"schema_version\": 1,\n");
+  std::fprintf(f, "  \"mode\": \"%s\",\n", smoke ? "smoke" : "full");
+  std::fprintf(f, "  \"problem\": { \"n\": %d, \"nb\": %d },\n", n, nb);
+  std::fprintf(f, "  \"runs\": [\n");
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const RunResult& r = runs[i];
+    std::fprintf(
+        f,
+        "    { \"nodes\": %d, \"backend\": \"%s\", \"ft\": %d, "
+        "\"crashes\": %d, \"ok\": %d, \"tts_s\": %.17g, "
+        "\"overhead\": %.17g, \"reexecuted\": %llu, \"reannounces\": %llu, "
+        "\"deaths\": %llu, \"detect_p99_ms\": %.17g, \"msgs\": %llu, "
+        "\"bytes\": %llu, \"wall_s\": %.3f }%s\n",
+        r.spec.nodes, backend_key(r.spec.backend), r.spec.ft ? 1 : 0,
+        r.spec.k, r.ok ? 1 : 0, r.tts_s, r.overhead,
+        static_cast<unsigned long long>(r.reexecuted),
+        static_cast<unsigned long long>(r.reannounces),
+        static_cast<unsigned long long>(r.deaths), r.detect_p99_ms,
+        static_cast<unsigned long long>(r.msgs),
+        static_cast<unsigned long long>(r.bytes), r.wall_s,
+        i + 1 < runs.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote %s (%zu runs)\n", path.c_str(), runs.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out = "BENCH_recovery.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--out FILE]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  // The fig5 fingerprint problem, fixed across the whole sweep so every
+  // row is comparable and the 8-node baseline is fingerprint-checkable.
+  const int n = 36000;
+  const int nb = 3000;
+  const std::vector<int> node_counts =
+      smoke ? std::vector<int>{8} : std::vector<int>{8, 16, 32};
+  const std::vector<int> crash_counts =
+      smoke ? std::vector<int>{0, 1, 2} : std::vector<int>{0, 1, 2, 4};
+
+  bool fingerprints_ok = true;
+  std::vector<RunResult> runs;
+  bench::Table tab("fig_recovery: tts (s) under k fail-stop crashes",
+                   {"nodes", "backend", "baseline", "ft k=0", "k=1", "k=2",
+                    "k=4"});
+  for (const int nodes : node_counts) {
+    for (const auto backend : {ce::BackendKind::Lci, ce::BackendKind::Mpi}) {
+      std::vector<std::string> row = {std::to_string(nodes),
+                                      backend_key(backend)};
+      // Tolerance-off baseline: the run the fingerprints pin.
+      const RunResult base =
+          run_one({nodes, backend, /*ft=*/false, /*k=*/0}, n, nb, 0, 0);
+      runs.push_back(base);
+      row.push_back(bench::fmt(base.tts_s));
+      if (nodes == 8 && !check_fingerprint(backend, base)) {
+        fingerprints_ok = false;
+      }
+      // Tolerance-on clean run: calibrates crash times and measures the
+      // steady-state cost of heartbeats + lineage tracking.
+      const RunResult clean =
+          run_one({nodes, backend, /*ft=*/true, /*k=*/0}, n, nb, 0, 0);
+      runs.push_back(clean);
+      row.push_back(bench::fmt(clean.tts_s));
+      const auto clean_ns = static_cast<des::Duration>(clean.tts_s * 1e9);
+      for (const int k : crash_counts) {
+        if (k == 0) continue;
+        const RunResult r = run_one({nodes, backend, /*ft=*/true, k}, n, nb,
+                                    clean_ns, clean.tts_s);
+        runs.push_back(r);
+        row.push_back(bench::fmt(r.tts_s));
+        std::printf(
+            "nodes %3d %-3s k=%d: tts %.3f s (+%.1f%%), reexec %llu, "
+            "reannounce %llu, detect p99 %.2f ms, ok=%d\n",
+            nodes, backend_key(backend), k, r.tts_s, r.overhead * 100.0,
+            static_cast<unsigned long long>(r.reexecuted),
+            static_cast<unsigned long long>(r.reannounces), r.detect_p99_ms,
+            r.ok ? 1 : 0);
+        std::fflush(stdout);
+      }
+      while (row.size() < 7) row.push_back("-");
+      tab.add_row(row);
+    }
+  }
+
+  write_json(out, smoke, n, nb, runs);
+  bench::export_metrics_env();
+  if (!fingerprints_ok) {
+    std::fprintf(stderr, "fault-free fingerprints drifted; failing\n");
+    return 1;
+  }
+  for (const RunResult& r : runs) {
+    if (!r.ok) {
+      std::fprintf(stderr, "a sweep run did not complete Ok; failing\n");
+      return 1;
+    }
+  }
+  return 0;
+}

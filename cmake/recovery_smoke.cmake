@@ -1,0 +1,107 @@
+# ctest script behind the "perf"-labeled fig_recovery_smoke test: runs
+# the crash-recovery sweep in smoke mode and validates the emitted
+# BENCH_recovery.json against the schema EXPERIMENTS.md documents.  The
+# bench itself exits non-zero if the tolerance-off baseline drifts from
+# the pinned fig5 fingerprints or any sweep run fails to complete, so
+# this script additionally requires the fingerprint_ok marker in the run
+# output for both backends.  Invoked as:
+#   cmake -DFIG_RECOVERY=<binary> -DOUT_JSON=<path> -P recovery_smoke.cmake
+cmake_minimum_required(VERSION 3.19)  # string(JSON)
+
+if(NOT DEFINED FIG_RECOVERY OR NOT DEFINED OUT_JSON)
+  message(FATAL_ERROR "usage: cmake -DFIG_RECOVERY=... -DOUT_JSON=... -P recovery_smoke.cmake")
+endif()
+
+execute_process(
+  COMMAND "${FIG_RECOVERY}" --smoke --out "${OUT_JSON}"
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE run_out
+  ERROR_VARIABLE run_err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "fig_recovery --smoke failed (rc=${rc}):\n${run_out}\n${run_err}")
+endif()
+foreach(backend lci mpi)
+  if(NOT run_out MATCHES "fingerprint_ok backend=${backend}")
+    message(FATAL_ERROR
+      "fig_recovery smoke: no fingerprint_ok marker for ${backend}:\n${run_out}")
+  endif()
+endforeach()
+
+file(READ "${OUT_JSON}" doc)
+
+string(JSON bench ERROR_VARIABLE err GET "${doc}" bench)
+if(err OR NOT bench STREQUAL "fig_recovery")
+  message(FATAL_ERROR "BENCH_recovery.json: bad 'bench' field: ${bench} ${err}")
+endif()
+string(JSON schema ERROR_VARIABLE err GET "${doc}" schema_version)
+if(err OR NOT schema EQUAL 1)
+  message(FATAL_ERROR "BENCH_recovery.json: bad 'schema_version': ${schema} ${err}")
+endif()
+string(JSON mode ERROR_VARIABLE err GET "${doc}" mode)
+if(err OR NOT mode STREQUAL "smoke")
+  message(FATAL_ERROR "BENCH_recovery.json: bad 'mode': ${mode} ${err}")
+endif()
+foreach(field n nb)
+  string(JSON v ERROR_VARIABLE err GET "${doc}" problem ${field})
+  if(err OR NOT v GREATER 0)
+    message(FATAL_ERROR "BENCH_recovery.json: bad problem.${field}: ${v} ${err}")
+  endif()
+endforeach()
+
+# Every run row must carry the full column set; the sweep must cover both
+# backends, a tolerance-off baseline, and at least one crashed run that
+# actually re-executed lost work.
+string(JSON nruns ERROR_VARIABLE err LENGTH "${doc}" runs)
+if(err OR NOT nruns GREATER 0)
+  message(FATAL_ERROR "BENCH_recovery.json: empty or missing 'runs': ${err}")
+endif()
+set(seen_lci 0)
+set(seen_mpi 0)
+set(seen_baseline 0)
+set(seen_recovery 0)
+math(EXPR last "${nruns} - 1")
+foreach(i RANGE ${last})
+  foreach(field nodes tts_s msgs bytes ok)
+    string(JSON v ERROR_VARIABLE err GET "${doc}" runs ${i} ${field})
+    if(err)
+      message(FATAL_ERROR "BENCH_recovery.json: runs[${i}].${field} missing: ${err}")
+    endif()
+    if(NOT v GREATER 0)
+      message(FATAL_ERROR "BENCH_recovery.json: runs[${i}].${field} not positive: ${v}")
+    endif()
+  endforeach()
+  foreach(field ft crashes overhead reexecuted reannounces deaths detect_p99_ms wall_s)
+    string(JSON v ERROR_VARIABLE err GET "${doc}" runs ${i} ${field})
+    if(err)
+      message(FATAL_ERROR "BENCH_recovery.json: runs[${i}].${field} missing: ${err}")
+    endif()
+  endforeach()
+  string(JSON backend GET "${doc}" runs ${i} backend)
+  if(backend STREQUAL "lci")
+    set(seen_lci 1)
+  elseif(backend STREQUAL "mpi")
+    set(seen_mpi 1)
+  else()
+    message(FATAL_ERROR "BENCH_recovery.json: runs[${i}].backend bad: ${backend}")
+  endif()
+  string(JSON ft GET "${doc}" runs ${i} ft)
+  string(JSON crashes GET "${doc}" runs ${i} crashes)
+  if(ft EQUAL 0 AND crashes EQUAL 0)
+    set(seen_baseline 1)
+  endif()
+  if(crashes GREATER 0)
+    string(JSON reexec GET "${doc}" runs ${i} reexecuted)
+    string(JSON deaths GET "${doc}" runs ${i} deaths)
+    if(reexec GREATER 0 AND deaths GREATER 0)
+      set(seen_recovery 1)
+    endif()
+  endif()
+endforeach()
+if(NOT (seen_lci AND seen_mpi AND seen_baseline AND seen_recovery))
+  message(FATAL_ERROR
+    "BENCH_recovery.json: sweep must cover both backends, a tolerance-off "
+    "baseline, and a recovered crash run (lci=${seen_lci} mpi=${seen_mpi} "
+    "baseline=${seen_baseline} recovery=${seen_recovery})")
+endif()
+
+message(STATUS "fig_recovery smoke OK: ${nruns} runs in ${OUT_JSON}")

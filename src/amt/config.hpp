@@ -11,6 +11,48 @@
 
 namespace amt {
 
+/// Fail-stop fault tolerance (lineage-based re-execution).  When enabled,
+/// the runtime tracks every task's lineage (phase, execution epoch, home
+/// rank) in a coordinator-side tracker; a confirmed node death re-homes
+/// the dead node's unfinished tasks onto survivors, re-announces lost
+/// inputs from surviving producers' produced-data caches, and re-executes
+/// the producing sub-lineage when the producer itself died after
+/// completing.  Off by default: the fault-free fast path is bit-identical
+/// to the non-tolerant runtime.
+struct FaultToleranceConfig {
+  bool enabled = false;
+  /// Re-execution cap per task; exceeding it fails closed with
+  /// RunStatus::ErrLineageExhausted instead of looping forever.
+  int max_epochs = 8;
+  /// Tolerant-run watchdog: if simulated time advances this far with no
+  /// new task completion, the run fails closed with ErrDeadlock.  Needed
+  /// because failure-detector heartbeat timers keep the event queue
+  /// non-empty forever — the engine can never "drain to prove" deadlock.
+  des::Duration stall_timeout = 2 * des::kSecond;
+};
+
+/// Terminal outcome of a tolerant run.  The default (non-tolerant) path
+/// still asserts on incomplete execution; the tolerant path never aborts —
+/// it reports one of these and returns.
+enum class RunStatus : int {
+  Ok = 0,
+  ErrNoSurvivors,       ///< every node crashed; nothing left to run on
+  ErrLineageExhausted,  ///< a task died more than max_epochs times
+  ErrTileLost,          ///< data irrecoverable (no cache copy anywhere)
+  ErrDeadlock,          ///< engine drained before all tasks completed
+};
+
+inline const char* run_status_name(RunStatus s) {
+  switch (s) {
+    case RunStatus::Ok: return "ok";
+    case RunStatus::ErrNoSurvivors: return "err_no_survivors";
+    case RunStatus::ErrLineageExhausted: return "err_lineage_exhausted";
+    case RunStatus::ErrTileLost: return "err_tile_lost";
+    case RunStatus::ErrDeadlock: return "err_deadlock";
+  }
+  return "unknown";
+}
+
 struct RuntimeConfig {
   /// Worker threads per node.  The paper's setup (§6.1.2): 128 cores,
   /// minus one for the communication thread, minus one more for the LCI
@@ -52,6 +94,9 @@ struct RuntimeConfig {
   des::Duration release_per_dep_cost = 3 * des::kMicrosecond;
   des::Duration scheduler_cost = 1 * des::kMicrosecond;
   des::Duration comm_loop_cost = 50;  ///< per comm-thread poll iteration
+
+  /// Fail-stop crash recovery (see FaultToleranceConfig).
+  FaultToleranceConfig ft;
 
   /// Cost profile for microbenchmark-style task classes whose successor
   /// functions are trivial (one consumer, no tile bookkeeping) — the
@@ -203,6 +248,13 @@ struct NodeStats {
   std::uint64_t getdata_deferred = 0;      ///< waited in the fetch queue
   std::uint64_t data_arrivals = 0;
   std::uint64_t forwards = 0;              ///< multicast-tree forwards
+  // Fault-tolerance counters (all zero on fault-free runs).
+  std::uint64_t tasks_reexecuted = 0;      ///< lineage re-arms applied here
+  std::uint64_t dup_completions_suppressed = 0;
+  std::uint64_t dup_inputs_dropped = 0;    ///< re-delivered inputs ignored
+  std::uint64_t stale_activations = 0;     ///< duplicate/stale records dropped
+  std::uint64_t fetches_abandoned = 0;     ///< pending fetches on a dead peer
+  std::uint64_t reannounces = 0;           ///< flows re-served from the cache
   LatencyStats latency;
   /// Phase breakdown of the end-to-end path: activate-processed -> GET
   /// DATA sent (fetch_wait), and GET DATA sent -> data arrival (transfer).

@@ -11,9 +11,9 @@ namespace amt {
 NodeRuntime::NodeRuntime(des::Engine& engine, net::Fabric& fabric, int rank,
                          ce::CommEngine& comm, TaskGraphDef& def,
                          const RuntimeConfig& cfg,
-                         const net::GlobalClock& clock)
+                         const net::GlobalClock& clock, FaultState* ft)
     : eng_(engine), fabric_(fabric), rank_(rank), comm_(comm), def_(def),
-      cfg_(cfg), clock_(clock) {}
+      cfg_(cfg), clock_(clock), ft_(ft) {}
 
 NodeRuntime::~NodeRuntime() {
   if (comm_loop_) comm_loop_->stop();
@@ -100,6 +100,14 @@ void NodeRuntime::wake_comm() { comm_loop_->wake(); }
 void NodeRuntime::task_ready(const TaskKey& key,
                              std::vector<DataCopyPtr> inputs,
                              const PathSums& pred, des::Time release_g) {
+  if (dead_) return;
+  if (ft_ != nullptr) {
+    if (ft_->lineage.is_done(key)) {
+      ++stats_.dup_completions_suppressed;
+      return;
+    }
+    ft_->lineage.mark_ready(key);
+  }
   ReadyTask rt;
   rt.priority = def_.priority(key);
   rt.seq = ready_seq_++;
@@ -130,6 +138,17 @@ void NodeRuntime::try_dispatch() {
 }
 
 void NodeRuntime::run_task(ReadyTask&& task, int worker_idx) {
+  // Fail-stop: work items queued before the crash still fire (they live
+  // on the engine's shared shard), but a dead node does no work.
+  if (dead_) return;
+  if (ft_ != nullptr && ft_->lineage.is_done(task.key)) {
+    // Lost the race with a re-execution elsewhere (possible only after a
+    // false-positive death verdict): drop the duplicate run.
+    ++stats_.dup_completions_suppressed;
+    idle_workers_.push_back(worker_idx);
+    try_dispatch();
+    return;
+  }
   auto& worker = *workers_[static_cast<std::size_t>(worker_idx)];
   RunContext ctx(std::move(task.inputs), def_.num_outputs(task.key));
   std::optional<des::ChargeSpan> span;
@@ -167,6 +186,11 @@ void NodeRuntime::run_task(ReadyTask&& task, int worker_idx) {
 void NodeRuntime::deliver_local(const Dep& dep, const DataCopyPtr& copy,
                                 const PathSums& prod, bool remote,
                                 des::Time release_g) {
+  if (ft_ != nullptr && ft_->lineage.is_done(dep.task)) {
+    // Re-delivery to a task that already ran (recovery re-announce).
+    ++stats_.dup_inputs_dropped;
+    return;
+  }
   auto [it, created] = task_states_.try_emplace(dep.task);
   TaskState& st = it->second;
   if (created) {
@@ -175,7 +199,11 @@ void NodeRuntime::deliver_local(const Dep& dep, const DataCopyPtr& copy,
     assert(st.remaining > 0);
   }
   auto& slot = st.inputs.at(static_cast<std::size_t>(dep.input));
-  assert(slot == nullptr && "input delivered twice");
+  if (slot != nullptr) {
+    assert(ft_ != nullptr && "input delivered twice");
+    ++stats_.dup_inputs_dropped;
+    return;
+  }
   slot = copy;
   // The latest release is the trigger: its chain gates the task.  The gap
   // between the producer chain's end and this release is communication
@@ -207,6 +235,13 @@ void NodeRuntime::deliver_local(const Dep& dep, const DataCopyPtr& copy,
 
 void NodeRuntime::task_completed(const TaskKey& key, RunContext& ctx,
                                  const PathSums& chain) {
+  if (ft_ != nullptr) {
+    if (ft_->lineage.is_done(key)) {
+      ++stats_.dup_completions_suppressed;
+      return;
+    }
+    ft_->lineage.mark_done(key);
+  }
   const int nout = def_.num_outputs(key);
   for (int f = 0; f < nout; ++f) {
     deps_scratch_.clear();
@@ -218,7 +253,8 @@ void NodeRuntime::task_completed(const TaskKey& key, RunContext& ctx,
     std::vector<std::int32_t> remote_ranks;
     double remote_prio = 0.0;
     for (const Dep& dep : deps_scratch_) {
-      const int r = def_.rank_of(dep.task);
+      if (ft_ != nullptr && ft_->lineage.is_done(dep.task)) continue;
+      const int r = owner_rank(dep.task);
       if (r == rank_) {
         deliver_local(dep, copy, chain, /*remote=*/false,
                       charged_global_now());
@@ -254,9 +290,23 @@ void NodeRuntime::publish_remote(const FlowKey& flow, const DataCopyPtr& copy,
 
   auto [it, created] = outgoing_.try_emplace(flow);
   OutgoingData& out = it->second;
-  assert(created && "flow published twice");
-  out.copy = copy;
-  out.expected_gets = children;
+  if (created) {
+    out.copy = copy;
+    out.expected_gets = children;
+  } else {
+    // Re-publication (recovery re-announce): serve the extra children
+    // from the existing entry.
+    assert(ft_ != nullptr && "flow published twice");
+    out.expected_gets += children;
+  }
+  if (ft_ != nullptr) {
+    // Keep every published flow re-servable: GET DATA after retirement
+    // and recovery re-announces both read this cache.
+    ProducedData& pd = produced_cache_[flow];
+    pd.copy = copy;
+    pd.path = path;
+    pd.priority = priority;
+  }
 
   const int rest = n - children;
   int consumed = children;
@@ -364,10 +414,10 @@ void NodeRuntime::on_activate(const void* msg, std::size_t size, int src) {
     def_.successors(rec.flow.producer, rec.flow.flow, deps_scratch_);
     double prio = rec.priority;
     for (const Dep& dep : deps_scratch_) {
-      if (def_.rank_of(dep.task) == rank_) {
-        pf.local_deps.push_back(dep);
-        prio = std::max(prio, def_.priority(dep.task));
-      }
+      if (owner_rank(dep.task) != rank_) continue;
+      if (ft_ != nullptr && ft_->lineage.is_done(dep.task)) continue;
+      pf.local_deps.push_back(dep);
+      prio = std::max(prio, def_.priority(dep.task));
     }
     // Iterating descendants is the expensive part of the callback (§4.3).
     des::charge_current(static_cast<des::Duration>(pf.local_deps.size()) *
@@ -387,7 +437,7 @@ void NodeRuntime::on_activate(const void* msg, std::size_t size, int src) {
       const des::Time end_g = clock_.to_global(rank_, end_l);
       const des::Time hop_g =
           clock_.to_global(pf.record.src_rank, pf.record.send_ts);
-      const int root = def_.rank_of(pf.record.flow.producer);
+      const int root = owner_rank(pf.record.flow.producer);
       const des::Time root_g = clock_.to_global(root, pf.record.root_ts);
       stats_.latency.add(static_cast<double>(end_g - hop_g),
                          static_cast<double>(end_g - root_g));
@@ -408,6 +458,14 @@ void NodeRuntime::on_activate(const void* msg, std::size_t size, int src) {
     }
 
     const FlowKey flow = pf.record.flow;
+    if (ft_ != nullptr && (pending_.count(flow) != 0 ||
+                           (pf.local_deps.empty() &&
+                            pf.record.subtree.empty()))) {
+      // Duplicate of an in-flight fetch, or a record whose consumers all
+      // completed meanwhile — both arise only from recovery re-announces.
+      ++stats_.stale_activations;
+      continue;
+    }
     const auto [it, created] = pending_.emplace(flow, std::move(pf));
     assert(created && "duplicate activation for flow");
     (void)it;
@@ -426,6 +484,9 @@ bool NodeRuntime::issue_fetches() {
     const FetchOrder fo = fetch_queue_.top();
     fetch_queue_.pop();
     auto it = pending_.find(fo.flow);
+    if (ft_ != nullptr && (it == pending_.end() || it->second.requested)) {
+      continue;  // entry purged (dead server) or superseded; skip
+    }
     assert(it != pending_.end());
     PendingFetch& pf = it->second;
     assert(!pf.requested);
@@ -463,13 +524,31 @@ void NodeRuntime::on_getdata(const void* msg, std::size_t size, int src) {
   des::emit_flow(eng_, "getdata", g.trace.span_id, /*begin=*/false);
   des::charge_current(cfg_.getdata_handle_cost);
   auto it = outgoing_.find(g.flow);
-  assert(it != outgoing_.end() && "GET DATA for unknown flow");
-  OutgoingData& out = it->second;
+  bool tracked = true;
+  DataCopyPtr serving;
+  if (it != outgoing_.end()) {
+    serving = it->second.copy;
+  } else if (ft_ != nullptr) {
+    // Retired (or never-published-here) flow requested during recovery:
+    // serve it from the produced-data cache, outside the expected-gets
+    // bookkeeping.  A miss here means the tile is gone everywhere the
+    // requester could reach — fail closed, never abort.
+    const auto cit = produced_cache_.find(g.flow);
+    if (cit == produced_cache_.end()) {
+      ft_->fail(RunStatus::ErrTileLost);
+      return;
+    }
+    serving = cit->second.copy;
+    tracked = false;
+  } else {
+    assert(false && "GET DATA for unknown flow");
+    return;
+  }
 
   ce::MemReg lreg{rank_,
-                  out.copy->bytes ? static_cast<void*>(out.copy->bytes->data())
-                                  : nullptr,
-                  out.copy->size};
+                  serving->bytes ? static_cast<void*>(serving->bytes->data())
+                                 : nullptr,
+                  serving->size};
   ce::MemReg rreg{src, reinterpret_cast<void*>(g.rbase),
                   static_cast<std::size_t>(g.rsize)};
   wire::DataArrivedMsg arrived;
@@ -479,15 +558,21 @@ void NodeRuntime::on_getdata(const void* msg, std::size_t size, int src) {
   des::emit_flow(eng_, "data", arrived.trace.span_id, /*begin=*/true);
   const FlowKey flow = g.flow;
   // Keep the copy alive until the put drains locally; then retire the
-  // outgoing entry once every direct child has been served.
-  DataCopyPtr keepalive = out.copy;
+  // outgoing entry once every direct child has been served.  A cache-only
+  // serve (recovery path) carries no retirement bookkeeping.
+  DataCopyPtr keepalive = serving;
   comm_.put(
-      lreg, 0, rreg, 0, out.copy->size, src,
-      [this, flow, keepalive](ce::CommEngine&, const ce::MemReg&,
-                              std::ptrdiff_t, const ce::MemReg&,
-                              std::ptrdiff_t, std::size_t, int, void*) {
+      lreg, 0, rreg, 0, serving->size, src,
+      [this, flow, keepalive, tracked](ce::CommEngine&, const ce::MemReg&,
+                                       std::ptrdiff_t, const ce::MemReg&,
+                                       std::ptrdiff_t, std::size_t, int,
+                                       void*) {
+        if (!tracked) return;
         auto oit = outgoing_.find(flow);
-        assert(oit != outgoing_.end());
+        if (oit == outgoing_.end()) {
+          assert(ft_ != nullptr && "put completion for retired flow");
+          return;
+        }
         if (++oit->second.gets_served == oit->second.expected_gets) {
           outgoing_.erase(oit);
         }
@@ -504,7 +589,14 @@ void NodeRuntime::on_data_arrived(const void* msg, std::size_t size,
   des::emit_flow(eng_, "data", d.trace.span_id, /*begin=*/false);
   des::charge_current(cfg_.data_release_cost);
   auto it = pending_.find(d.flow);
-  assert(it != pending_.end() && "data arrived for unknown flow");
+  if (it == pending_.end()) {
+    // Possible under recovery: the entry was purged (its server died and a
+    // re-announce re-created the fetch elsewhere) or the same flow arrived
+    // twice via a redundant re-announce.  Drop tolerantly.
+    assert(ft_ != nullptr && "data arrived for unknown flow");
+    ++stats_.stale_activations;
+    return;
+  }
   PendingFetch pf = std::move(it->second);
   pending_.erase(it);
   --inflight_fetches_;
@@ -515,8 +607,9 @@ void NodeRuntime::on_data_arrived(const void* msg, std::size_t size,
   const des::Time hop_send_g =
       clock_.to_global(pf.record.src_rank, pf.record.send_ts);
   // root_ts was stamped by the multicast root; we do not know the root's
-  // rank directly, but the producer's owner is it.
-  const int root = def_.rank_of(pf.record.flow.producer);
+  // rank directly, but the producer's owner (its lineage home, if re-homed)
+  // is it.
+  const int root = owner_rank(pf.record.flow.producer);
   const des::Time root_send_g = clock_.to_global(root, pf.record.root_ts);
   stats_.latency.add(static_cast<double>(now_g - hop_send_g),
                      static_cast<double>(now_g - root_send_g));
@@ -572,7 +665,7 @@ void NodeRuntime::record_stages(const wire::ActivationRecord& rec,
                                 des::Time reached_g, des::Time activated_g,
                                 des::Time requested_g, des::Time put_g,
                                 des::Time end_g) {
-  const int root = def_.rank_of(rec.flow.producer);
+  const int root = owner_rank(rec.flow.producer);
   const des::Time root_g = clock_.to_global(root, rec.root_ts);
   const des::Time enq_g = clock_.to_global(rec.src_rank, rec.enqueue_ts);
   const des::Time send_g = clock_.to_global(rec.src_rank, rec.send_ts);
@@ -590,11 +683,94 @@ void NodeRuntime::record_stages(const wire::ActivationRecord& rec,
 // Communication thread body
 
 bool NodeRuntime::comm_body() {
+  if (dead_) return false;
   bool worked = false;
   if (!cfg_.mt_activate) worked |= flush_activations();
   worked |= issue_fetches();
   worked |= comm_.progress() > 0;
   return worked;
+}
+
+// ---------------------------------------------------------------------------
+// Fail-stop recovery hooks
+
+void NodeRuntime::mark_crashed() { dead_ = true; }
+
+void NodeRuntime::purge_peer(int dead_rank) {
+  if (dead_) return;
+  // Activations queued to the corpse will never be wanted again: the
+  // coordinator rearms every not-Done task homed there.
+  outgoing_activations_.erase(dead_rank);
+  // Fetches served by the corpse can never complete; the coordinator
+  // re-announces the data from an alive holder (or rearms the producer).
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    if (it->second.record.src_rank == dead_rank) {
+      if (it->second.requested) --inflight_fetches_;
+      ++stats_.fetches_abandoned;
+      it = pending_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // Stale fetch_queue_ orders for erased flows are skipped by
+  // issue_fetches; freed in-flight slots can admit queued fetches now.
+  issue_fetches();
+}
+
+void NodeRuntime::inject_source(const TaskKey& key) {
+  if (dead_) return;
+  const des::Time rel_g = charged_global_now();
+  PathSums pred;
+  // The whole wait until re-injection is recovery (runtime) overhead;
+  // pred.total() == rel_g keeps the critical-path invariant.
+  pred.overhead = rel_g;
+  task_ready(key, {}, pred, rel_g);
+}
+
+bool NodeRuntime::reannounce(const FlowKey& flow, int dst) {
+  if (ft_ == nullptr || dead_) return false;
+  const auto cit = produced_cache_.find(flow);
+  if (cit == produced_cache_.end()) return false;
+  const ProducedData& pd = cit->second;
+  ++stats_.reannounces;
+  if (dst == rank_) {
+    // Local consumers: hand the cached copy straight to every
+    // still-unfilled input (deliver_local drops filled/Done ones anyway).
+    deps_scratch_.clear();
+    def_.successors(flow.producer, flow.flow, deps_scratch_);
+    const des::Time now_g = charged_global_now();
+    for (const Dep& dep : deps_scratch_) {
+      if (owner_rank(dep.task) != rank_) continue;
+      if (ft_->lineage.is_done(dep.task)) continue;
+      if (!input_unfilled(dep.task, dep.input)) continue;
+      deliver_local(dep, pd.copy, pd.path, /*remote=*/true, now_g);
+    }
+    return true;
+  }
+  // Remote consumer: a fresh single-destination ACTIVATE.  This leg is a
+  // new multicast root, so root_ts restarts here — recovery latency is
+  // measured from the re-announce, not the lost original.
+  wire::ActivationRecord rec;
+  rec.flow = flow;
+  rec.size = pd.copy->size;
+  rec.src_rank = rank_;
+  rec.priority = pd.priority;
+  rec.root_ts = fabric_.local_clock(rank_);
+  rec.send_ts = rec.root_ts;
+  rec.real = pd.copy->bytes != nullptr ? 1 : 0;
+  rec.trace = new_ctx(flow);
+  rec.path = pd.path;
+  emit_activation(dst, std::move(rec));
+  return true;
+}
+
+bool NodeRuntime::input_unfilled(const TaskKey& task, int input) const {
+  if (ft_ != nullptr && ft_->lineage.phase(task) != TaskPhase::Pending) {
+    return false;  // Ready/Done: the task holds (or held) all its inputs
+  }
+  const auto it = task_states_.find(task);
+  if (it == task_states_.end()) return true;
+  return it->second.inputs.at(static_cast<std::size_t>(input)) == nullptr;
 }
 
 }  // namespace amt

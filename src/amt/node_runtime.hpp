@@ -33,6 +33,7 @@
 #include "net/clock_sync.hpp"
 #include "net/fabric.hpp"
 #include "amt/config.hpp"
+#include "amt/lineage.hpp"
 #include "amt/task_graph.hpp"
 #include "amt/task_key.hpp"
 #include "amt/wire.hpp"
@@ -41,9 +42,13 @@ namespace amt {
 
 class NodeRuntime {
  public:
+  /// `ft` is the runtime-wide fault state; null disables fault tolerance
+  /// entirely (the fault-free hot path is then byte-identical to the
+  /// pre-recovery runtime).
   NodeRuntime(des::Engine& engine, net::Fabric& fabric, int rank,
               ce::CommEngine& comm, TaskGraphDef& def,
-              const RuntimeConfig& cfg, const net::GlobalClock& clock);
+              const RuntimeConfig& cfg, const net::GlobalClock& clock,
+              FaultState* ft = nullptr);
   ~NodeRuntime();
   NodeRuntime(const NodeRuntime&) = delete;
   NodeRuntime& operator=(const NodeRuntime&) = delete;
@@ -62,6 +67,27 @@ class NodeRuntime {
   /// elapses past it, so the true makespan is the max of both.
   des::Time threads_free_at() const;
   des::SimThread& comm_thread() { return *comm_thread_; }
+
+  // --- fail-stop recovery hooks (no-ops unless ft was passed) -----------
+  /// Ground-truth crash notification: this node stops doing work.  Its
+  /// DES shard was already cancelled by the fabric; this guards the
+  /// SimThread work items (workers, comm loop) that live on shard 0.
+  void mark_crashed();
+  bool crashed() const { return dead_; }
+  /// Drops protocol state wedged on a confirmed-dead peer: pending
+  /// fetches whose serving rank died, and queued activations to it.
+  void purge_peer(int dead_rank);
+  /// Seeds a re-homed zero-input task on this node.
+  void inject_source(const TaskKey& key);
+  /// Re-serves a produced flow from the cache: local consumers get the
+  /// data directly; a remote `dst` gets a fresh single-destination
+  /// ACTIVATE.  Returns false when the flow is not cached here.
+  bool reannounce(const FlowKey& flow, int dst);
+  /// True when `input` of `task` has not been delivered on this node.
+  bool input_unfilled(const TaskKey& task, int input) const;
+  /// Coordinator bookkeeping: a previously Ready/Done task homed here was
+  /// rearmed and will run again.
+  void note_reexecuted() { ++stats_.tasks_reexecuted; }
 
  private:
   struct TaskState {
@@ -123,6 +149,12 @@ class NodeRuntime {
                       const PathSums& chain);
   void deliver_local(const Dep& dep, const DataCopyPtr& copy,
                      const PathSums& prod, bool remote, des::Time release_g);
+
+  /// Effective owner rank: the lineage home under fault tolerance, the
+  /// owner-computes rank otherwise.
+  int owner_rank(const TaskKey& t) const {
+    return ft_ != nullptr ? ft_->lineage.home(t) : def_.rank_of(t);
+  }
 
   // --- communication ----------------------------------------------------
   void publish_remote(const FlowKey& flow, const DataCopyPtr& copy,
@@ -187,6 +219,18 @@ class NodeRuntime {
 
   // Scratch to avoid per-call allocation in hot paths.
   std::vector<Dep> deps_scratch_;
+
+  // --- fault tolerance ---------------------------------------------------
+  FaultState* ft_ = nullptr;  ///< null = tolerance off (exact legacy paths)
+  bool dead_ = false;         ///< this node fail-stopped
+  /// Every flow this node has published or produced, kept so lost data
+  /// can be re-served (GET DATA after retirement, recovery re-announce).
+  struct ProducedData {
+    DataCopyPtr copy;
+    PathSums path;
+    double priority = 0.0;
+  };
+  std::unordered_map<FlowKey, ProducedData, FlowKeyHash> produced_cache_;
 };
 
 }  // namespace amt

@@ -1,6 +1,7 @@
 #include "amt/runtime.hpp"
 
 #include <algorithm>
+#include <unordered_set>
 
 namespace amt {
 
@@ -12,16 +13,48 @@ Runtime::Runtime(des::Engine& engine, net::Fabric& fabric,
   if (clock_.offsets().empty()) {
     clock_ = net::GlobalClock::identity(fabric.num_nodes());
   }
+  if (cfg_.ft.enabled) {
+    ft_ = std::make_unique<FaultState>(def_, cfg_.ft);
+    ft_->node_dead.assign(static_cast<std::size_t>(fabric.num_nodes()), 0);
+  }
   nodes_.reserve(static_cast<std::size_t>(fabric.num_nodes()));
   for (int r = 0; r < fabric.num_nodes(); ++r) {
     nodes_.push_back(std::make_unique<NodeRuntime>(
-        engine, fabric, r, comm.engine(r), def, cfg_, clock_));
+        engine, fabric, r, comm.engine(r), def, cfg_, clock_, ft_.get()));
+  }
+  if (ft_ != nullptr) {
+    // Detection source: failure-detector verdicts when the comm world has
+    // one (realistic detection latency), ground-truth fabric crash
+    // notifications otherwise (zero-latency recovery, for unit tests).
+    ce::FailureDetectorDomain* const fd = comm.failure_detector();
+    detector_ = fd;
+    fd_recovery_ = fd != nullptr;
+    if (fd != nullptr) {
+      fd->subscribe([this](int /*node*/, int peer, ce::PeerState st) {
+        if (st == ce::PeerState::Dead) on_peer_dead(peer);
+      });
+    }
+    // The crash handler always marks the corpse so its queued shard-0 work
+    // items (workers, comm loop) become no-ops.  AMT death is sticky: a
+    // fabric restart revives the ce level only; the node stays out of the
+    // work pool (graceful degradation).
+    fabric.add_crash_handler([this, &comm](net::NodeId n, bool up) {
+      if (up) return;
+      nodes_[static_cast<std::size_t>(n)]->mark_crashed();
+      if (!fd_recovery_) {
+        // Ground-truth recovery: purge the comm level first (the detector
+        // path does this via its Dead-verdict subscriber), then re-home.
+        comm.peer_failed(static_cast<int>(n));
+        on_peer_dead(static_cast<int>(n));
+      }
+    });
   }
 }
 
 des::Duration Runtime::run() {
   const des::Time start = eng_.now();
   for (auto& n : nodes_) n->start();
+  if (ft_ != nullptr) return run_tolerant(start);
   eng_.run();
   const std::uint64_t executed = total_tasks_executed();
   assert(executed == def_.total_tasks() &&
@@ -35,6 +68,169 @@ des::Duration Runtime::run() {
   return end - start;
 }
 
+des::Duration Runtime::run_tolerant(des::Time start) {
+  const std::uint64_t total = def_.total_tasks();
+  const LineageTracker& lin = ft_->lineage;
+  // Failure-detector heartbeat timers keep the event queue non-empty
+  // forever, so the engine cannot quiesce on its own: run until every
+  // distinct task is Done (re-executions un-count, so the predicate is
+  // exact), the run failed closed, or nothing completes for longer than
+  // the stall timeout (a lost-task deadlock the coordinator missed).
+  des::Time last_progress = eng_.now();
+  std::uint64_t last_done = lin.done_count();
+  const auto done = [&]() {
+    if (ft_->status != RunStatus::Ok) return true;
+    const std::uint64_t d = lin.done_count();
+    if (d >= total) return true;
+    if (d != last_done) {
+      last_done = d;
+      last_progress = eng_.now();
+    } else if (eng_.now() - last_progress > ft_->cfg.stall_timeout) {
+      ft_->fail(RunStatus::ErrDeadlock);
+      return true;
+    }
+    return false;
+  };
+  if (!eng_.run_while_pending(done) && lin.done_count() < total &&
+      ft_->status == RunStatus::Ok) {
+    // Queue drained with work remaining: structural deadlock.
+    ft_->fail(RunStatus::ErrDeadlock);
+  }
+  if (ft_->status == RunStatus::Ok) {
+    // Completion: stop the detector's periodic heartbeats so the
+    // remaining in-flight events (data retirements, ACKs) can drain.
+    // Draining keeps the quiescence point — and therefore the makespan —
+    // identical to the non-tolerant runtime on crash-free runs.
+    if (detector_ != nullptr) detector_->stop();
+    eng_.run();
+  }
+  // Makespan over surviving nodes only — a corpse's charged horizon is
+  // not part of the completed schedule.
+  des::Time end = eng_.now();
+  for (const auto& n : nodes_) {
+    if (!ft_->alive(n->rank())) continue;
+    end = std::max(end, n->threads_free_at());
+  }
+  return end - start;
+}
+
+void Runtime::build_graph_index() {
+  graph_indexed_ = true;
+  std::unordered_set<TaskKey, TaskKeyHash> seen;
+  std::vector<TaskKey> stack;
+  std::vector<TaskKey> init;
+  for (int r = 0; r < num_nodes(); ++r) {
+    init.clear();
+    def_.initial_tasks(r, init);
+    for (const TaskKey& t : init) {
+      if (seen.insert(t).second) stack.push_back(t);
+    }
+  }
+  std::vector<Dep> deps;
+  while (!stack.empty()) {
+    const TaskKey t = stack.back();
+    stack.pop_back();
+    all_tasks_.push_back(t);
+    const int nout = def_.num_outputs(t);
+    for (int f = 0; f < nout; ++f) {
+      deps.clear();
+      def_.successors(t, f, deps);
+      const FlowKey flow{t, f};
+      for (const Dep& d : deps) {
+        producers_[d.task].emplace_back(d.input, flow);
+        if (seen.insert(d.task).second) stack.push_back(d.task);
+      }
+    }
+  }
+  assert(all_tasks_.size() == def_.total_tasks() &&
+         "graph walk did not reach every task");
+}
+
+void Runtime::on_peer_dead(int dead_rank) {
+  if (ft_ == nullptr) return;
+  if (ft_->status != RunStatus::Ok) return;  // already failed closed
+  char& flag = ft_->node_dead[static_cast<std::size_t>(dead_rank)];
+  if (flag != 0) return;  // detector verdicts repeat per observer
+  flag = 1;
+  const std::vector<int> survivors = ft_->survivors();
+  if (survivors.empty()) {
+    ft_->fail(RunStatus::ErrNoSurvivors);
+    return;
+  }
+  if (!graph_indexed_) build_graph_index();
+  LineageTracker& lin = ft_->lineage;
+
+  // Drop protocol state wedged on the corpse on every survivor FIRST:
+  // recovery re-announces must not be dup-dropped against fetches that
+  // are about to be purged.
+  for (const int r : survivors) {
+    nodes_[static_cast<std::size_t>(r)]->purge_peer(dead_rank);
+  }
+
+  std::vector<TaskKey> work;
+  const auto rearm = [&](const TaskKey& t) {
+    const TaskPhase was = lin.phase(t);
+    const int epoch = lin.rearm(t, survivors);
+    if (epoch > ft_->cfg.max_epochs) {
+      ft_->fail(RunStatus::ErrLineageExhausted);
+      return false;
+    }
+    if (was != TaskPhase::Pending) {
+      nodes_[static_cast<std::size_t>(lin.home(t))]->note_reexecuted();
+    }
+    work.push_back(t);
+    return true;
+  };
+
+  // Pass 1: every not-Done task homed on a dead node re-homes to a
+  // survivor (deterministic hash rule).  Done-on-dead tasks are left
+  // alone here — their outputs are re-produced lazily in pass 2, only if
+  // a consumer still needs them.
+  for (const TaskKey& t : all_tasks_) {
+    if (ft_->alive(lin.home(t))) continue;
+    if (lin.is_done(t)) continue;
+    if (!rearm(t)) return;
+  }
+
+  // Pass 2: make every Pending task runnable again.  Each missing input
+  // either has a not-Done producer that will (re-)deliver naturally, or a
+  // Done producer whose cached output an alive holder re-announces, or a
+  // Done-on-dead producer whose sub-lineage must re-execute (cascades via
+  // the worklist).  The seed sweep below already covers pass 1's rearms.
+  work.clear();
+  for (const TaskKey& t : all_tasks_) {
+    if (lin.phase(t) == TaskPhase::Pending) work.push_back(t);
+  }
+  while (!work.empty() && ft_->status == RunStatus::Ok) {
+    const TaskKey t = work.back();
+    work.pop_back();
+    if (lin.phase(t) != TaskPhase::Pending) continue;
+    NodeRuntime& home = *nodes_[static_cast<std::size_t>(lin.home(t))];
+    if (def_.num_inputs(t) == 0) {
+      home.inject_source(t);
+      continue;
+    }
+    const auto pit = producers_.find(t);
+    assert(pit != producers_.end() && "task with inputs but no producers");
+    for (const auto& [input, flow] : pit->second) {
+      if (!home.input_unfilled(t, input)) continue;
+      const TaskKey& p = flow.producer;
+      if (!lin.is_done(p)) continue;  // will deliver on (re-)completion
+      const int p_home = lin.home(p);
+      if (ft_->alive(p_home)) {
+        if (!nodes_[static_cast<std::size_t>(p_home)]->reannounce(
+                flow, home.rank())) {
+          // Done producer, alive home, no cached copy: the tile is gone.
+          ft_->fail(RunStatus::ErrTileLost);
+          return;
+        }
+      } else if (!rearm(p)) {
+        return;  // lost output: re-execute the producing sub-lineage
+      }
+    }
+  }
+}
+
 NodeStats Runtime::aggregate_stats() const {
   NodeStats total;
   for (const auto& n : nodes_) {
@@ -46,6 +242,12 @@ NodeStats Runtime::aggregate_stats() const {
     total.getdata_deferred += s.getdata_deferred;
     total.data_arrivals += s.data_arrivals;
     total.forwards += s.forwards;
+    total.tasks_reexecuted += s.tasks_reexecuted;
+    total.dup_completions_suppressed += s.dup_completions_suppressed;
+    total.dup_inputs_dropped += s.dup_inputs_dropped;
+    total.stale_activations += s.stale_activations;
+    total.fetches_abandoned += s.fetches_abandoned;
+    total.reannounces += s.reannounces;
     total.latency.merge(s.latency);
     total.fetch_wait.merge(s.fetch_wait);
     total.transfer.merge(s.transfer);

@@ -1,9 +1,20 @@
 // The distributed runtime: one NodeRuntime per simulated node, a shared
 // TaskGraphDef, and the execution driver.
+//
+// With fault tolerance enabled (RuntimeConfig::ft.enabled) the Runtime
+// also acts as the recovery coordinator: it owns the shared FaultState,
+// listens for confirmed peer deaths (failure-detector verdicts when a
+// detector is wired, ground-truth fabric crash notifications otherwise),
+// and re-homes the dead node's unfinished lineage onto survivors.  When
+// tolerance is off the hot path is byte-identical to the pre-recovery
+// runtime (no FaultState is ever allocated; NodeRuntimes see a null
+// pointer and take the exact legacy branches).
 #pragma once
 
 #include <cassert>
 #include <memory>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "ce/world.hpp"
@@ -11,6 +22,7 @@
 #include "net/clock_sync.hpp"
 #include "net/fabric.hpp"
 #include "amt/config.hpp"
+#include "amt/lineage.hpp"
 #include "amt/node_runtime.hpp"
 #include "amt/task_graph.hpp"
 
@@ -23,13 +35,29 @@ class Runtime {
           net::GlobalClock clock = {});
 
   /// Executes the task graph to completion.  Returns the makespan
-  /// (simulated time from call to global quiescence).
+  /// (simulated time from call to global quiescence).  Under fault
+  /// tolerance the run may instead end with run_status() != Ok — an
+  /// unrecoverable loss fails closed, it never aborts.
   des::Duration run();
 
   int num_nodes() const { return static_cast<int>(nodes_.size()); }
   NodeRuntime& node(int rank) {
     return *nodes_.at(static_cast<std::size_t>(rank));
   }
+
+  /// Ok on fault-free or fully recovered runs; an error status when the
+  /// graph could not be completed.  Always Ok with tolerance disabled.
+  RunStatus run_status() const {
+    return ft_ != nullptr ? ft_->status : RunStatus::Ok;
+  }
+  /// The shared fault state (null when tolerance is off).
+  const FaultState* fault_state() const { return ft_.get(); }
+
+  /// Recovery entry point: re-homes `dead_rank`'s unfinished lineage onto
+  /// survivors and re-announces lost inputs.  Idempotent; normally driven
+  /// by the failure detector (or the fabric crash handler when no
+  /// detector is wired), public so tests can inject verdicts directly.
+  void on_peer_dead(int dead_rank);
 
   /// Sum of per-node counters.
   NodeStats aggregate_stats() const;
@@ -38,11 +66,29 @@ class Runtime {
   des::Duration total_worker_busy() const;
 
  private:
+  /// Lazily enumerates the whole graph (BFS from every rank's source
+  /// tasks) into all_tasks_ and the input -> producing-flow map.  Only
+  /// ever built on the first confirmed death — fault-free runs never pay
+  /// for it.
+  void build_graph_index();
+  des::Duration run_tolerant(des::Time start);
+
   des::Engine& eng_;
   TaskGraphDef& def_;
   RuntimeConfig cfg_;
   net::GlobalClock clock_;
   std::vector<std::unique_ptr<NodeRuntime>> nodes_;
+
+  // --- fault tolerance ---------------------------------------------------
+  std::unique_ptr<FaultState> ft_;  ///< null = tolerance off
+  ce::FailureDetectorDomain* detector_ = nullptr;  ///< may be null
+  bool fd_recovery_ = false;  ///< verdicts come from the failure detector
+  bool graph_indexed_ = false;
+  std::vector<TaskKey> all_tasks_;
+  /// task -> [(input index, producing flow)] for every input edge.
+  std::unordered_map<TaskKey, std::vector<std::pair<int, FlowKey>>,
+                     TaskKeyHash>
+      producers_;
 };
 
 }  // namespace amt

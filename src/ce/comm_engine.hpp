@@ -42,6 +42,7 @@ enum class Status : int {
   ErrTagDuplicate,     ///< tag_reg on an already-registered tag
   ErrTooLarge,         ///< message exceeds the registered/backing limit
   ErrTimeout,          ///< reliability: retry budget exhausted
+  ErrPeerDead,         ///< destination confirmed dead by the failure detector
 };
 
 inline const char* status_name(Status s) {
@@ -51,6 +52,7 @@ inline const char* status_name(Status s) {
     case Status::ErrTagDuplicate: return "ErrTagDuplicate";
     case Status::ErrTooLarge: return "ErrTooLarge";
     case Status::ErrTimeout: return "ErrTimeout";
+    case Status::ErrPeerDead: return "ErrPeerDead";
   }
   return "?";
 }
@@ -77,6 +79,29 @@ struct ReliableConfig {
 
   std::uint64_t seed = 0xAC4;     ///< jitter rng seed (per-node derived)
   std::uint64_t ack_bytes = 32;   ///< wire size of an ACK/NACK frame
+};
+
+/// Failure-detector configuration (ce/failure_detector).  Disabled by
+/// default: no heartbeats, no detector shims, wire path unchanged.
+struct FdConfig {
+  bool enabled = false;
+
+  /// Heartbeat period per (node, peer) direction.  A heartbeat to a peer
+  /// is skipped when any frame was sent to that peer within the period
+  /// (piggybacking on existing traffic).
+  des::Duration heartbeat_interval = 5 * des::kMillisecond;
+
+  /// Suspicion threshold: a peer becomes Suspect when nothing has been
+  /// heard from it for max(min_timeout, phi_factor * mean observed
+  /// inter-arrival gap) — a cheap phi-accrual-style adaptive bound.
+  des::Duration min_timeout = 50 * des::kMillisecond;
+  double phi_factor = 6.0;
+
+  /// Confirmation: a Suspect peer is declared Dead after this additional
+  /// silence.  Death is sticky until the peer's NIC provably restarts.
+  des::Duration confirm_timeout = 25 * des::kMillisecond;
+
+  std::uint64_t heartbeat_bytes = 16;  ///< wire size of a heartbeat frame
 };
 
 /// Active-message callback: invoked when a message with the registered tag
@@ -128,6 +153,10 @@ struct CeConfig {
   /// End-to-end reliability sublayer, shared by both backends (installed
   /// below mmpi/mlci by CommWorld when enabled).
   ReliableConfig reliable;
+
+  /// Fail-stop failure detector (installed above the reliability shim by
+  /// CommWorld when enabled).
+  FdConfig fd;
 };
 
 /// Counters exposed by every backend (for tests and instrumentation).
@@ -141,6 +170,8 @@ struct CeStats {
   std::uint64_t recvs_dynamic = 0;     ///< MPI: dynamic (unpromoted) recvs
   std::uint64_t retries_delegated = 0; ///< LCI: recvd retries delegated
   std::uint64_t eager_puts = 0;        ///< LCI: puts carried in handshakes
+  std::uint64_t peer_failed_sends = 0; ///< sends released by peer_failed()
+  std::uint64_t peer_failed_recvs = 0; ///< recvs dropped by peer_failed()
 };
 
 /// Per-node communication engine (Listing 1).
@@ -198,6 +229,13 @@ class CommEngine {
   /// "ce.put_remote_ns", queue-wait metrics).  Null detaches; the engine
   /// does not own the recorder.  Default: metrics are dropped.
   virtual void set_recorder(obs::Recorder* /*rec*/) {}
+
+  /// Notification that `remote` was confirmed dead by the failure
+  /// detector.  Backends cancel or fast-complete transfers wedged on the
+  /// dead peer (e.g. rendezvous handshakes that will never get a CTS) so
+  /// progress engines and concurrency caps drain instead of stalling
+  /// forever.  Default: nothing to release.
+  virtual void peer_failed(int /*remote*/) {}
 };
 
 }  // namespace ce

@@ -1,0 +1,119 @@
+// Fail-stop failure detection (heartbeats + adaptive timeout).
+//
+// One FailureDetectorDomain covers the whole simulated cluster: a
+// per-node detector shim interposes in FRONT of whatever link shim is
+// already installed (the reliability sublayer, usually), so it observes
+// every frame each node sends and receives — data, ACKs, retransmits —
+// and treats all of them as proof of life.  Dedicated kProtoFd
+// heartbeat frames fill silent gaps: a node heartbeats a peer only when
+// it has sent that peer nothing for a full heartbeat interval
+// (piggybacking on existing traffic the rest of the time).
+//
+// Peer-state machine, evaluated on each node's periodic timer:
+//
+//   Alive --silence > max(min_timeout, phi * mean_gap)--> Suspect
+//   Suspect --any frame arrives--> Alive            (a "flap": counted
+//                                                    as a false suspect)
+//   Suspect --further confirm_timeout of silence--> Dead
+//
+// Dead is sticky — subscribers (reliability fast-fail, backend transfer
+// cancellation, the AMT recovery coordinator) have acted on it — until
+// the fabric's ground-truth restart signal revives the peer.  The
+// suspicion threshold adapts phi-accrual-style to the observed
+// inter-arrival gap so bursty-but-healthy peers (e.g. a NIC busy
+// serializing a multi-MB tile) are not declared suspect; at fault-rate
+// zero the detector must produce zero false positives, which the unit
+// tests pin.
+//
+// A node's timer lives on its own DES shard: when the node crashes the
+// fabric cancels the shard and the dead node stops heartbeating and
+// detecting — exactly the fail-stop semantics.  On restart the domain
+// re-arms the timer and resets the node's views.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "ce/comm_engine.hpp"
+#include "net/fabric.hpp"
+
+namespace obs {
+class Recorder;
+}
+
+namespace ce {
+
+enum class PeerState : std::uint8_t { Alive = 0, Suspect = 1, Dead = 2 };
+
+inline const char* peer_state_name(PeerState s) {
+  switch (s) {
+    case PeerState::Alive: return "Alive";
+    case PeerState::Suspect: return "Suspect";
+    case PeerState::Dead: return "Dead";
+  }
+  return "?";
+}
+
+/// Domain-wide detector counters (summed over all nodes).
+struct FdStats {
+  std::uint64_t heartbeats_sent = 0;
+  std::uint64_t suspects = 0;        ///< Alive -> Suspect transitions
+  std::uint64_t false_suspects = 0;  ///< Suspect -> Alive flaps
+  std::uint64_t deaths = 0;          ///< Suspect -> Dead confirmations
+  std::uint64_t revivals = 0;        ///< Dead -> Alive on ground-truth restart
+  std::uint64_t hints = 0;           ///< external suspicion hints accepted
+};
+
+class FailureDetectorDomain {
+ public:
+  /// Observer of peer-state transitions: `node`'s view of `peer` changed
+  /// to `state`.  Invoked synchronously from the detector (timer events
+  /// and frame arrivals); keep it cheap and re-entrant-safe.
+  using StateCallback = std::function<void(int node, int peer, PeerState)>;
+
+  FailureDetectorDomain(net::Fabric& fabric, FdConfig cfg);
+  ~FailureDetectorDomain();
+  FailureDetectorDomain(const FailureDetectorDomain&) = delete;
+  FailureDetectorDomain& operator=(const FailureDetectorDomain&) = delete;
+
+  const FdConfig& config() const { return cfg_; }
+  const FdStats& stats() const { return stats_; }
+
+  void subscribe(StateCallback cb) { subscribers_.push_back(std::move(cb)); }
+
+  /// `node`'s current view of `peer`.
+  PeerState peer_state(int node, int peer) const;
+
+  /// External suspicion hint (the reliability sublayer's ErrTimeout):
+  /// accelerates Alive -> Suspect without waiting for the silence bound.
+  /// Confirmation still requires confirm_timeout of real silence.
+  void suspect_hint(int node, int peer);
+
+  /// Cancels every pending heartbeat timer.  The detector stops; call
+  /// when the workload reached quiescence so the periodic timers don't
+  /// keep the event queue alive forever.
+  void stop();
+
+  /// Attaches a metrics recorder for ce.fd.* counters and the
+  /// ce.fd.detect_ns detection-latency histogram.  Null detaches.
+  void set_recorder(obs::Recorder* rec);
+
+ private:
+  class NodeDetector;
+  friend class NodeDetector;
+
+  void notify(int node, int peer, PeerState state);
+  void record_death(int node, int peer, des::Time now);
+
+  net::Fabric& fabric_;
+  FdConfig cfg_;
+  FdStats stats_;
+  bool stopped_ = false;
+  obs::Recorder* rec_ = nullptr;
+  std::vector<StateCallback> subscribers_;
+  std::vector<std::unique_ptr<NodeDetector>> nodes_;
+};
+
+}  // namespace ce

@@ -520,6 +520,49 @@ int LciBackend::progress() {
   return total;
 }
 
+void LciBackend::peer_failed(int remote) {
+  // Retry-parked work aimed at the corpse would otherwise block the FIFO
+  // head forever (strict-FIFO drain) and starve live peers.  Idempotent.
+  std::size_t sends = 0;
+  std::size_t recvs = 0;
+  std::erase_if(retry_sends_, [&](const PendingSend& ps) {
+    return ps.remote == remote;
+  });
+  std::erase_if(retry_recvs_, [&](const PendingRecv& pr) {
+    if (pr.src != remote) return false;
+    ++recvs;  // dropped without completing: the data never arrived
+    return true;
+  });
+  for (auto it = retry_data_sends_.begin(); it != retry_data_sends_.end();) {
+    if (it->remote != remote) {
+      ++it;
+      continue;
+    }
+    // Local-complete semantics: the origin buffer is reusable, so the
+    // local callback still fires (through the bulk FIFO, like any other
+    // local completion).  No slot was held — start_data_send failed.
+    DataHandle h = std::move(it->local_done);
+    h.queued = eng_.now();
+    data_fifo_.push_back(std::move(h));
+    ++sends;
+    it = retry_data_sends_.erase(it);
+  }
+  if (!has_retries()) clear_retry_pacing();
+
+  // Device-level: direct sends awaiting CTS complete-as-cancelled (their
+  // Comp handlers run inside the next progress pass), wedged receives
+  // and queued RTS from the corpse are dropped.
+  const mlci::Device::PurgeResult purged = dev_.peer_failed(remote);
+  sends += purged.sends;
+  recvs += purged.recvs;
+  stats_.peer_failed_sends += sends;
+  stats_.peer_failed_recvs += recvs;
+  if (rec_ != nullptr && sends + recvs > 0) {
+    rec_->counter("ce.peer_failed_cancels").add(sends + recvs);
+  }
+  if (sends + recvs > 0) wake_comm_thread();
+}
+
 bool LciBackend::idle() const {
   return am_fifo_.empty() && data_fifo_.empty() && retry_sends_.empty() &&
          retry_recvs_.empty() && retry_data_sends_.empty() &&

@@ -59,6 +59,7 @@ class LciBackend final : public CommEngine {
           OnesidedCallback l_cb, void* l_cb_data, Tag r_tag,
           const void* r_cb_data, std::size_t r_cb_data_size) override;
   int progress() override;
+  void peer_failed(int remote) override;
   bool idle() const override;
   void set_wake_callback(std::function<void()> fn) override;
   const CeStats& stats() const override { return stats_; }

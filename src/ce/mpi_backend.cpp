@@ -279,6 +279,72 @@ int MpiBackend::progress() {
   return total;
 }
 
+void MpiBackend::peer_failed(int remote) {
+  // A transfer wedged on a dead peer never completes through MPI: cancel
+  // its request and release its array slot so the 30-entry cap (§4.2.2)
+  // is not permanently consumed by a corpse.  Idempotent — after the
+  // first call nothing matching `remote` remains.
+  std::size_t recvs = 0;
+  std::vector<Entry> kept;
+  std::vector<Entry> released_sends;
+  kept.reserve(entries_.size());
+  for (Entry& e : entries_) {
+    const bool doomed =
+        (e.kind == Entry::Kind::DataSend && e.remote == remote) ||
+        (e.kind == Entry::Kind::DataRecv && e.origin == remote);
+    if (!doomed) {
+      kept.push_back(std::move(e));
+      continue;
+    }
+    rank_.cancel(e.req);
+    if (e.kind == Entry::Kind::DataSend) {
+      // Put sends are locally complete the moment the data leaves the
+      // origin buffer; the origin callback still fires so upper layers
+      // can release the tile.  The remote side is dead — no r_cb.
+      ++stats_.peer_failed_sends;
+      released_sends.push_back(std::move(e));
+    } else {
+      // Dropped without any callback: the data never arrived, so faking
+      // remote completion would hand garbage to the consumer.
+      ++stats_.peer_failed_recvs;
+      ++recvs;
+    }
+  }
+  entries_ = std::move(kept);
+
+  // Deferred work targeting the corpse: deferred sends were never posted
+  // (req unset); dynamic recvs hold a live request that must be dropped.
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    Entry& e = it->entry;
+    if (it->what == Pending::What::StartSend && e.remote == remote) {
+      ++stats_.peer_failed_sends;
+      released_sends.push_back(std::move(e));
+      it = pending_.erase(it);
+    } else if (it->what == Pending::What::PromoteRecv &&
+               e.origin == remote) {
+      rank_.cancel(e.req);
+      ++stats_.peer_failed_recvs;
+      ++recvs;
+      it = pending_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  rank_.purge_peer(remote);
+  if (rec_ != nullptr && released_sends.size() + recvs > 0) {
+    rec_->counter("ce.peer_failed_cancels").add(released_sends.size() + recvs);
+  }
+  for (Entry& e : released_sends) {
+    if (e.l_cb) {
+      e.l_cb(*this, e.lreg, e.ldispl, e.rreg, e.rdispl, e.size, e.remote,
+             e.l_cb_data);
+    }
+  }
+  drain_pending();
+  if (wake_) wake_();
+}
+
 bool MpiBackend::idle() const {
   if (!pending_.empty()) return false;
   if (rank_.pending_incoming() > 0) return false;

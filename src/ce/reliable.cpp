@@ -89,6 +89,8 @@ ReliableChannel::ReliableChannel(ReliableDomain& domain, net::Fabric& fabric,
   next_seq_.resize(n, 0);
   unacked_.resize(n);
   recv_.resize(n);
+  peer_dead_.resize(n, false);
+  err_logged_.resize(n, false);
 }
 
 ReliableChannel::~ReliableChannel() { cancel_timers(); }
@@ -110,6 +112,35 @@ std::size_t ReliableChannel::unacked() const {
   return n;
 }
 
+void ReliableChannel::peer_dead(net::NodeId peer) {
+  const auto i = static_cast<std::size_t>(peer);
+  if (peer_dead_[i]) return;
+  peer_dead_[i] = true;
+  // Cancel every outstanding RTO timer to the dead peer and fail the
+  // messages recoverably.  Collect first: the error callback may send
+  // (recovery traffic) and mutate unacked_.
+  std::vector<std::uint64_t> seqs;
+  seqs.reserve(unacked_[i].size());
+  for (auto& [seq, u] : unacked_[i]) {
+    if (u.timer.ev != des::kInvalidEvent) eng_.cancel(u.timer);
+    seqs.push_back(seq);
+  }
+  unacked_[i].clear();
+  domain_.stats_.peer_dead_fails += seqs.size();
+  if (domain_.rec_ != nullptr && !seqs.empty()) {
+    domain_.rec_->counter("ce.rel.peer_dead_fails").add(seqs.size());
+  }
+  if (domain_.on_error_) {
+    for (const std::uint64_t seq : seqs) {
+      domain_.on_error_(node_, peer, seq, Status::ErrPeerDead);
+    }
+  }
+}
+
+void ReliableChannel::peer_alive(net::NodeId peer) {
+  peer_dead_[static_cast<std::size_t>(peer)] = false;
+}
+
 void ReliableChannel::shim_send(net::Message&& m,
                                 std::function<void()> on_sent) {
   net::Nic& nic = fabric_.nic(node_);
@@ -121,6 +152,26 @@ void ReliableChannel::shim_send(net::Message&& m,
   }
 
   const auto peer = static_cast<std::size_t>(m.dst);
+  if (peer_dead_[peer]) {
+    // Fast-fail: the destination is confirmed dead, so transmitting (and
+    // then burning the whole retry budget) is pure waste.  The local
+    // completion still fires — the send buffer is "reusable" exactly as
+    // if the frame had left the NIC — and the failure surfaces
+    // immediately through the error callback.
+    ++domain_.stats_.peer_dead_fails;
+    if (domain_.rec_ != nullptr) {
+      domain_.rec_->counter("ce.rel.peer_dead_fails").add();
+    }
+    const net::NodeId dst = m.dst;
+    if (on_sent) {
+      eng_.schedule_on(net::Fabric::shard_of(node_), eng_.now(),
+                       std::move(on_sent));
+    }
+    if (domain_.on_error_) {
+      domain_.on_error_(node_, dst, 0, Status::ErrPeerDead);
+    }
+    return;
+  }
   const std::uint64_t seq = ++next_seq_[peer];
   m.hdr.rel_seq = seq;
   m.hdr.rel_crc = message_crc(m);
@@ -204,8 +255,31 @@ void ReliableChannel::expire(net::NodeId dst, std::uint64_t seq) {
     }
     if (u.timer.ev != des::kInvalidEvent) eng_.cancel(u.timer);
     const DeliveryErrorCallback& cb = domain_.on_error_;
+    const ReliableDomain::SuspicionHook& hook = domain_.on_suspect_;
     peer.erase(it);
-    if (cb) cb(node_, dst, seq, Status::ErrTimeout);
+    // A burned retry budget is strong evidence the peer is down: always
+    // feed the suspicion hook (the failure detector), whether or not an
+    // error callback consumes the loss itself.
+    if (hook) hook(node_, dst);
+    if (cb) {
+      cb(node_, dst, seq, Status::ErrTimeout);
+    } else if (!hook) {
+      // Nobody is listening.  Surface the loss through obs — once per
+      // peer, so a dead node's stream of give-ups doesn't flood — instead
+      // of silently discarding it.
+      ++domain_.stats_.unhandled_errors;
+      if (domain_.rec_ != nullptr) {
+        domain_.rec_->counter("ce.rel.err_unhandled").add();
+      }
+      if (!err_logged_[static_cast<std::size_t>(dst)]) {
+        err_logged_[static_cast<std::size_t>(dst)] = true;
+        std::fprintf(stderr,
+                     "ce.rel: node %d gave up on peer %d (seq %llu, %s) "
+                     "with no error callback installed\n",
+                     node_, dst, static_cast<unsigned long long>(seq),
+                     status_name(Status::ErrTimeout));
+      }
+    }
     return;
   }
 
@@ -359,6 +433,14 @@ std::size_t ReliableDomain::unacked() const {
   std::size_t n = 0;
   for (const auto& ch : channels_) n += ch->unacked();
   return n;
+}
+
+void ReliableDomain::peer_dead(net::NodeId peer) {
+  for (auto& ch : channels_) ch->peer_dead(peer);
+}
+
+void ReliableDomain::peer_alive(net::NodeId peer) {
+  for (auto& ch : channels_) ch->peer_alive(peer);
 }
 
 }  // namespace ce

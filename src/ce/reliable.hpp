@@ -73,10 +73,14 @@ struct ReliableStats {
   std::uint64_t nacks_sent = 0;
   std::uint64_t duplicates_suppressed = 0;
   std::uint64_t corrupt_discarded = 0;
+  std::uint64_t peer_dead_fails = 0;  ///< sends failed fast with ErrPeerDead
+  std::uint64_t unhandled_errors = 0; ///< give-ups with no callback installed
 };
 
 /// Delivery-failure notification: the sublayer gave up on (src -> dst,
-/// seq) after the retry budget.  `status` is ErrTimeout.
+/// seq) — `status` is ErrTimeout after the retry budget, or ErrPeerDead
+/// when the destination was declared dead (seq 0 for a send that never
+/// entered the sequence space).
 using DeliveryErrorCallback = std::function<void(
     net::NodeId src, net::NodeId dst, std::uint64_t seq, Status status)>;
 
@@ -95,6 +99,14 @@ class ReliableChannel final : public net::LinkShim {
 
   /// Cancels every pending retransmission timer (domain teardown).
   void cancel_timers();
+
+  /// The destination was confirmed dead: cancel its RTO timers, fail
+  /// every outstanding message to it with ErrPeerDead, and fast-fail
+  /// subsequent sends to it until peer_alive().
+  void peer_dead(net::NodeId peer);
+  /// Ground-truth restart of `peer`: resume normal transmission.  The
+  /// per-peer sequence spaces continue where they left off.
+  void peer_alive(net::NodeId peer);
 
   std::size_t unacked() const;
 
@@ -134,6 +146,8 @@ class ReliableChannel final : public net::LinkShim {
   std::vector<std::uint64_t> next_seq_;              ///< per peer
   std::vector<std::map<std::uint64_t, Unacked>> unacked_;  ///< per peer
   std::vector<PeerRecv> recv_;                       ///< per peer
+  std::vector<bool> peer_dead_;                      ///< fast-fail sends
+  std::vector<bool> err_logged_;  ///< once-per-peer unhandled-error log
 };
 
 /// Owns one ReliableChannel per node and installs them as NIC shims;
@@ -150,8 +164,19 @@ class ReliableDomain {
   const ReliableStats& stats() const { return stats_; }
 
   /// Invoked (from event context) when a message exhausts its retry
-  /// budget.  Default: counted only.
+  /// budget or its destination is declared dead.  Default: counted only.
   void set_error_callback(DeliveryErrorCallback cb) { on_error_ = std::move(cb); }
+
+  /// Invoked on every retry-budget exhaustion, independently of the
+  /// error callback: an ErrTimeout is a strong hint the peer may be down,
+  /// so CommWorld wires this into the failure detector's suspect_hint.
+  using SuspicionHook = std::function<void(net::NodeId src, net::NodeId dst)>;
+  void set_suspicion_hook(SuspicionHook fn) { on_suspect_ = std::move(fn); }
+
+  /// Marks `peer` dead / alive on every channel (see
+  /// ReliableChannel::peer_dead).
+  void peer_dead(net::NodeId peer);
+  void peer_alive(net::NodeId peer);
 
   /// Metrics sink for ce.rel.* counters and retransmit-latency histograms
   /// (null detaches; not owned).
@@ -169,6 +194,7 @@ class ReliableDomain {
   ReliableStats stats_;
   obs::Recorder* rec_ = nullptr;
   DeliveryErrorCallback on_error_;
+  SuspicionHook on_suspect_;
   std::vector<std::unique_ptr<ReliableChannel>> channels_;
 };
 

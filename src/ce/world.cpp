@@ -30,6 +30,26 @@ CommWorld::CommWorld(net::Fabric& fabric, BackendKind kind, CeConfig ce_cfg,
     reliable_ = std::make_unique<ReliableDomain>(fabric, ce_cfg.reliable);
     reliable_->set_recorder(&recorder_);
   }
+  if (ce_cfg.fd.enabled) {
+    // Constructed after reliable_ so the detector shim wraps the
+    // reliability shim and sees every frame first.
+    fd_ = std::make_unique<FailureDetectorDomain>(fabric, ce_cfg.fd);
+    fd_->set_recorder(&recorder_);
+    // Dead verdict: stop retransmitting to the corpse and release
+    // backend transfers wedged on it.  Revival re-opens the channels.
+    fd_->subscribe([this](int /*node*/, int peer, PeerState state) {
+      if (state == PeerState::Dead) {
+        peer_failed(peer);
+      } else if (state == PeerState::Alive && reliable_ != nullptr) {
+        reliable_->peer_alive(peer);
+      }
+    });
+    if (reliable_ != nullptr) {
+      reliable_->set_suspicion_hook([this](net::NodeId src, net::NodeId dst) {
+        fd_->suspect_hint(src, dst);
+      });
+    }
+  }
   fabric.set_recorder(&recorder_);
   for (auto& e : engines_) e->set_recorder(&recorder_);
 }

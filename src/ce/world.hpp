@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "ce/comm_engine.hpp"
+#include "ce/failure_detector.hpp"
 #include "ce/reliable.hpp"
 #include "mlci/lci.hpp"
 #include "mmpi/mpi.hpp"
@@ -52,6 +53,23 @@ class CommWorld {
   ReliableDomain* reliability() { return reliable_.get(); }
   const ReliableDomain* reliability() const { return reliable_.get(); }
 
+  /// Declares `peer` dead at the communication level: the reliability
+  /// sublayer stops retransmitting to it and every engine cancels
+  /// transfers wedged on it.  Idempotent.  Invoked automatically on
+  /// detector Dead verdicts; callers with ground-truth crash knowledge
+  /// (e.g. the AMT runtime without a detector) may call it directly.
+  void peer_failed(int peer) {
+    if (reliable_ != nullptr) reliable_->peer_dead(peer);
+    for (auto& e : engines_) e->peer_failed(peer);
+  }
+
+  /// The failure detector, or null when CeConfig::fd.enabled was false.
+  /// When both sublayers are on, CommWorld has already wired: detector
+  /// Dead verdicts -> reliability peer_dead + backend peer_failed;
+  /// reliability ErrTimeout give-ups -> detector suspicion hints.
+  FailureDetectorDomain* failure_detector() { return fd_.get(); }
+  const FailureDetectorDomain* failure_detector() const { return fd_.get(); }
+
  private:
   BackendKind kind_;
   net::Fabric& fabric_;
@@ -62,6 +80,9 @@ class CommWorld {
   // Declared last: uninstalls its NIC shims and cancels retransmission
   // timers before the libraries above go away.
   std::unique_ptr<ReliableDomain> reliable_;
+  // After reliable_: the detector shims wrap the reliability shims, so
+  // they must uninstall first (reverse declaration order).
+  std::unique_ptr<FailureDetectorDomain> fd_;
 };
 
 }  // namespace ce

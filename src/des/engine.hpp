@@ -76,6 +76,12 @@ class Engine {
     return queue_.reschedule(id, t);
   }
 
+  /// Cancels every pending event on `shard` (fail-stop node crash).
+  /// Returns the number of events cancelled.
+  std::size_t cancel_shard(std::uint32_t shard) {
+    return queue_.cancel_shard(shard);
+  }
+
   /// Fires the next event.  Returns false when no events remain.
   bool step() {
     if (queue_.empty()) return false;

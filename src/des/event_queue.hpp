@@ -79,6 +79,12 @@ class EventQueue {
   AMTLCE_DES_HOT_INLINE bool reschedule_seq(EventId id, Time t,
                                             std::uint64_t seq);
 
+  /// Cancels every pending event at once (fail-stop node crash: the
+  /// node's whole shard dies).  All outstanding EventIds go stale and
+  /// callbacks are destroyed without firing.  Returns the number of
+  /// events cancelled.  Cold path: O(slab), not amortized.
+  std::size_t cancel_all();
+
   bool empty() const { return live_count_ == 0; }
   std::size_t size() const { return live_count_; }
 

@@ -94,6 +94,17 @@ class ShardedEventQueue {
     return true;
   }
 
+  /// Cancels every pending event on one shard (fail-stop node crash).
+  /// All outstanding Ids into the shard go stale.  Returns the number of
+  /// events cancelled.  Cold path.
+  std::size_t cancel_shard(std::uint32_t shard) {
+    if (shard >= shards_.size()) return 0;
+    const std::size_t n = shards_[shard].cancel_all();
+    live_ -= n;
+    if (multi_) reseed_front(shard);
+    return n;
+  }
+
   bool empty() const { return live_ == 0; }
   std::size_t size() const { return live_; }
   std::size_t num_shards() const { return shards_.size(); }

@@ -36,6 +36,7 @@ ExperimentResult run_tlr_cholesky(const ExperimentConfig& cfg) {
 
   ExperimentResult res;
   res.tts_s = des::to_seconds(makespan);
+  res.run_status = runtime.run_status();
   res.runtime_stats = runtime.aggregate_stats();
   res.latency = res.runtime_stats.latency;
   res.tasks = runtime.total_tasks_executed();
@@ -57,6 +58,8 @@ ExperimentResult run_tlr_cholesky(const ExperimentConfig& cfg) {
     res.ce_stats.recvs_dynamic += s.recvs_dynamic;
     res.ce_stats.retries_delegated += s.retries_delegated;
     res.ce_stats.eager_puts += s.eager_puts;
+    res.ce_stats.peer_failed_sends += s.peer_failed_sends;
+    res.ce_stats.peer_failed_recvs += s.peer_failed_recvs;
   }
   res.fabric_messages = fabric.total_messages();
   res.fabric_bytes = fabric.total_bytes();

@@ -31,6 +31,9 @@ struct ExperimentConfig {
 struct ExperimentResult {
   ce::CeStats ce_stats;             ///< summed over all engines
   double tts_s = 0;                 ///< time-to-solution, seconds
+  /// Ok on fault-free or fully recovered runs; an error status when the
+  /// graph could not be completed (fault tolerance fails closed).
+  amt::RunStatus run_status = amt::RunStatus::Ok;
   amt::LatencyStats latency;        ///< hop + end-to-end comm latency
   amt::NodeStats runtime_stats;     ///< aggregated counters
   double worker_utilization = 0;    ///< busy fraction of worker cores

@@ -348,6 +348,61 @@ void Device::handle_data(net::Message& m) {
   complete(dr.comp, std::move(req));
 }
 
+Device::PurgeResult Device::peer_failed(int peer) {
+  PurgeResult res;
+  // Direct sends parked on a CTS that will never come: free the slot and
+  // defer a SendDone through the hardware CQ (the next progress() call
+  // runs the handler on a real thread, mirroring the NIC-drain path).
+  for (auto it = direct_sends_.begin(); it != direct_sends_.end();) {
+    if (it->dst != peer) {
+      ++it;
+      continue;
+    }
+    DirectSend ds = std::move(*it);
+    it = direct_sends_.erase(it);
+    ++direct_free_;
+    Request req;
+    req.type = Request::Type::SendDone;
+    req.peer = ds.dst;
+    req.tag = ds.tag;
+    req.size = ds.size;
+    req.user_context = ds.user_context;
+    hw_completions_.push_back(
+        PendingCompletion{std::move(ds.comp), std::move(req)});
+    ++res.sends;
+  }
+  // Receives matched (CTS sent) or merely posted against the corpse: the
+  // DATA never arrives, so the slot is freed and no completion fires —
+  // signalling RecvDone would hand a buffer of garbage to the consumer.
+  for (auto it = matched_recvs_.begin(); it != matched_recvs_.end();) {
+    if (it->second.src == peer) {
+      it = matched_recvs_.erase(it);
+      ++direct_free_;
+      ++res.recvs;
+    } else {
+      ++it;
+    }
+  }
+  for (auto it = posted_direct_.begin(); it != posted_direct_.end();) {
+    if (it->src == peer) {
+      it = posted_direct_.erase(it);
+      ++direct_free_;
+      ++res.recvs;
+    } else {
+      ++it;
+    }
+  }
+  // Queued traffic from the corpse: an RTS left here could match a future
+  // receive and wedge its slot on never-arriving DATA, so everything not
+  // yet processed is discarded (fail-stop semantics).
+  std::erase_if(pending_rts_,
+                [peer](const net::Message& m) { return m.src == peer; });
+  std::erase_if(incoming_,
+                [peer](const net::Message& m) { return m.src == peer; });
+  if (res.sends > 0) notify();
+  return res;
+}
+
 int Device::do_progress() {
   const Config& cfg = lci_.cfg_;
   des::charge_current(cfg.progress_poll_cost);

@@ -183,6 +183,21 @@ class Device {
   /// immediate data as payload, the data size in Request::size.
   void set_put_handler(Handler h) { put_handler_ = std::move(h); }
 
+  /// Fail-stop peer death: releases every Direct resource wedged on
+  /// `peer`.  Direct sends awaiting CTS complete through their Comp as
+  /// SendDone (the send is locally complete — the buffer is reusable —
+  /// even though the target died); posted and matched Direct receives
+  /// from `peer` are dropped WITHOUT completing (their data never
+  /// arrived), and queued RTS/incoming traffic from `peer` is discarded.
+  /// Completions are deferred through the hardware CQ, so handlers run
+  /// inside the next progress() call, never in the caller's context.
+  /// Idempotent.  Safe to call from event context.
+  struct PurgeResult {
+    std::size_t sends = 0;  ///< direct sends completed-as-cancelled
+    std::size_t recvs = 0;  ///< direct receives dropped
+  };
+  PurgeResult peer_failed(int peer);
+
   // --- introspection -------------------------------------------------------
   int free_packets() const { return packets_free_; }
   int free_direct_slots() const { return direct_free_; }

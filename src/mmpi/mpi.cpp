@@ -435,4 +435,41 @@ void Rank::free_request(RequestId id) {
   requests_.erase(it);
 }
 
+void Rank::cancel(RequestId id) {
+  auto it = requests_.find(id);
+  if (it == requests_.end()) return;
+  for (auto pit = posted_recvs_.begin(); pit != posted_recvs_.end(); ++pit) {
+    if (*pit == id) {
+      posted_recvs_.erase(pit);
+      break;
+    }
+  }
+  requests_.erase(it);
+}
+
+std::size_t Rank::purge_peer(int peer) {
+  // Queued traffic from the dead peer will never be matched: flush it
+  // from the hardware and unexpected queues before touching requests so
+  // no handler resurrects it.
+  std::erase_if(incoming_, [peer](const net::Message& m) {
+    return m.src == peer;
+  });
+  std::erase_if(unexpected_, [peer](const net::Message& m) {
+    return m.src == peer;
+  });
+
+  std::vector<RequestId> doomed;
+  for (const auto& [id, req] : requests_) {
+    if (req->state != Request::State::Active) continue;
+    if (req->kind == Request::Kind::Send && req->dst == peer) {
+      doomed.push_back(id);
+    } else if (req->kind == Request::Kind::Recv && req->src == peer) {
+      // Wildcard receives stay posted — another rank can still match.
+      doomed.push_back(id);
+    }
+  }
+  for (const RequestId id : doomed) cancel(id);
+  return doomed.size();
+}
+
 }  // namespace mmpi

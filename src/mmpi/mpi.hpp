@@ -122,6 +122,19 @@ class Rank {
   /// Frees an inactive persistent request.
   void free_request(RequestId req);
 
+  /// MPI_Cancel + MPI_Request_free in one step: drops a request even if
+  /// it is still Active (a transfer wedged on a dead peer will never
+  /// complete, so normal completion rules cannot apply).  Unknown ids are
+  /// ignored.  Posted-receive queue entries for the request are removed.
+  void cancel(RequestId req);
+
+  /// Drops every request wedged on `peer` (Active sends to it, Active
+  /// receives specifically from it) plus all queued traffic from it
+  /// (hardware queue and unexpected-message queue).  Used by the ce layer
+  /// when the failure detector confirms `peer` dead.  Returns the number
+  /// of requests cancelled.
+  std::size_t purge_peer(int peer);
+
   /// Progress-only call (like MPI_Testsome on an empty array): drains and
   /// matches the hardware queue without completing any caller request.
   void poll();

@@ -2,11 +2,25 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "des/time.hpp"
 #include "net/topology.hpp"
 
 namespace net {
+
+/// One seeded fail-stop crash: `node` dies at `crash_at` and (optionally)
+/// rejoins at `restart_at`.  While down — the half-open window
+/// [crash_at, restart_at), or [crash_at, inf) when restart_at == 0 — the
+/// node's NIC drops all ingress and egress and its pending DES events are
+/// cancelled on its ShardedEventQueue shard.  Window semantics match the
+/// brownout/stall rules: a transfer transmitted inside the window is
+/// eaten pre-routing, an arrival inside the window is eaten post-routing.
+struct CrashEvent {
+  int node = -1;
+  des::Time crash_at = 0;
+  des::Time restart_at = 0;  ///< 0 = fail-stop forever
+};
 
 /// Deterministic fault-injection knobs.  Everything defaults to "off": the
 /// fabric stays a perfect lossless pipe unless an experiment opts in.  All
@@ -46,12 +60,16 @@ struct FaultConfig {
   des::Time stall_start = 0;
   des::Duration stall_duration = 0;
 
+  /// Seeded fail-stop crash schedule (see CrashEvent).  At most one entry
+  /// per node; validated by the Fabric.
+  std::vector<CrashEvent> crashes;
+
   /// True when any fault mechanism is active.
   bool any() const {
     return drop_prob > 0 || dup_prob > 0 || corrupt_prob > 0 ||
            spike_prob > 0 || jitter_max > 0 ||
            (brownout_node >= 0 && brownout_duration > 0) ||
-           (stall_node >= 0 && stall_duration > 0);
+           (stall_node >= 0 && stall_duration > 0) || !crashes.empty();
   }
 };
 

@@ -81,6 +81,21 @@ void validate(const FabricConfig& cfg) {
                      static_cast<double>(f.brownout_duration));
   check_non_negative("faults.stall_duration",
                      static_cast<double>(f.stall_duration));
+  for (std::size_t i = 0; i < f.crashes.size(); ++i) {
+    const CrashEvent& c = f.crashes[i];
+    if (c.node < 0) reject("faults.crashes[].node", c.node);
+    check_non_negative("faults.crashes[].crash_at",
+                       static_cast<double>(c.crash_at));
+    if (c.restart_at != 0 && c.restart_at <= c.crash_at) {
+      reject("faults.crashes[].restart_at",
+             static_cast<double>(c.restart_at));
+    }
+    for (std::size_t j = 0; j < i; ++j) {
+      if (f.crashes[j].node == c.node) {
+        reject("faults.crashes[] (duplicate node)", c.node);
+      }
+    }
+  }
 }
 
 namespace {
@@ -114,6 +129,49 @@ Fabric::Fabric(des::Engine& engine, int num_nodes, FabricConfig config)
       s = static_cast<des::Duration>(rng.uniform(-max, max));
     }
   }
+  // Fail-stop crash schedule: per-node windows for the hot-path drop
+  // tests, plus crash/restart control events.  Control events live on
+  // shard 0 so a node's own crash (which cancels its whole shard) can
+  // never cancel its restart.
+  crash_start_.resize(static_cast<std::size_t>(num_nodes), des::kTimeNever);
+  crash_end_.resize(static_cast<std::size_t>(num_nodes), des::kTimeNever);
+  crashed_.resize(static_cast<std::size_t>(num_nodes), false);
+  for (const CrashEvent& c : cfg_.faults.crashes) {
+    check_node("faults.crashes[].node", c.node);
+    const auto i = static_cast<std::size_t>(c.node);
+    crash_start_[i] = c.crash_at;
+    crash_end_[i] = c.restart_at != 0 ? c.restart_at : des::kTimeNever;
+    const NodeId node = c.node;
+    eng_.schedule_at(c.crash_at, [this, node]() { fire_crash(node); });
+    if (c.restart_at != 0) {
+      eng_.schedule_at(c.restart_at, [this, node]() { fire_restart(node); });
+    }
+  }
+}
+
+void Fabric::fire_crash(NodeId node) {
+  ++fault_stats_.crashes;
+  count_fault("net.fault.crashes");
+  const std::size_t n = eng_.cancel_shard(shard_of(node));
+  fault_stats_.crash_cancelled_events += n;
+  if (rec_ != nullptr && n > 0) {
+    rec_->counter("net.fault.crash_cancelled").add(n);
+  }
+  crashed_[static_cast<std::size_t>(node)] = true;
+  for (const CrashHandler& h : crash_handlers_) h(node, false);
+}
+
+void Fabric::fire_restart(NodeId node) {
+  crashed_[static_cast<std::size_t>(node)] = false;
+  for (const CrashHandler& h : crash_handlers_) h(node, true);
+}
+
+void Fabric::count_crash_drop(std::uint64_t wire_bytes) {
+  ++fault_stats_.crash_drops;
+  count_fault("net.fault.crash_drops");
+  ++fault_stats_.drops;
+  fault_stats_.dropped_bytes += wire_bytes;
+  count_fault("net.fault.drops");
 }
 
 void Fabric::check_node(const char* what, NodeId n) const {
@@ -343,6 +401,16 @@ void Fabric::do_send(Nic& src, Message m, Nic::SentHandler on_sent) {
     return;
   }
 
+  // Source-side crash: like brownout, judged against the modeled wire
+  // occupancy [egress_start, egress_end) — a message queued before the
+  // node died but transmitted inside its crash window is eaten.  Drawn
+  // before plan_faults so crashes consume no randomness (the RNG
+  // sequence of surviving traffic matches the crash-free run).
+  if (faulted && crash_overlaps(m.src, egress_start, egress_end)) {
+    count_crash_drop(m.wire_bytes);
+    return;
+  }
+
   FaultPlan plan;
   if (faulted) plan = plan_faults();
   if (plan.drop) {
@@ -380,6 +448,14 @@ void Fabric::do_send(Nic& src, Message m, Nic::SentHandler on_sent) {
     ++fault_stats_.drops;
     fault_stats_.dropped_bytes += m.wire_bytes;
     count_fault("net.fault.drops");
+    return;
+  }
+
+  // Destination-side crash: judged at the modeled arrival instant, like
+  // the destination brownout.  The frame crossed the fabric; link
+  // charges stand, the dead NIC just never raises a completion.
+  if (faulted && crash_at_instant(m.dst, available_at)) {
+    count_crash_drop(m.wire_bytes);
     return;
   }
 

@@ -52,6 +52,9 @@ struct FaultStats {
   std::uint64_t stalled_msgs = 0;
   std::uint64_t brownout_drops = 0;
   std::uint64_t undeliverable = 0;  ///< arrivals with no handler installed
+  std::uint64_t crashes = 0;        ///< fail-stop crash events fired
+  std::uint64_t crash_drops = 0;    ///< frames eaten by a crashed NIC
+  std::uint64_t crash_cancelled_events = 0;  ///< DES events killed by crashes
 };
 
 class Fabric;
@@ -193,6 +196,22 @@ class Fabric {
   /// Fault-injection counters (all zero when cfg.faults is inactive).
   const FaultStats& fault_stats() const { return fault_stats_; }
 
+  /// Ground-truth liveness: false while `node` is inside a crash window
+  /// (i.e. after its crash control event fired and before any restart).
+  bool node_alive(NodeId node) const {
+    return !crashed_.at(static_cast<std::size_t>(node));
+  }
+
+  /// Registers a callback fired when a node's fail-stop state changes:
+  /// fn(node, false) at crash time (after the node's shard events were
+  /// cancelled), fn(node, true) at restart.  Handlers are invoked in
+  /// registration order and are never removed — register for the
+  /// fabric's lifetime.
+  using CrashHandler = std::function<void(NodeId, bool up)>;
+  void add_crash_handler(CrashHandler fn) {
+    crash_handlers_.push_back(std::move(fn));
+  }
+
   /// Attaches a metrics recorder ("net.wire_transit_ns",
   /// "net.egress_wait_ns").  Null detaches; the fabric does not own it.
   /// Resolves the per-message histograms once, so the send path never
@@ -236,6 +255,21 @@ class Fabric {
   void corrupt_in_flight(Message& m);
   void count_fault(const char* name);
 
+  /// True when [a, b) overlaps `node`'s crash window (egress-side test).
+  bool crash_overlaps(NodeId node, des::Time a, des::Time b) const {
+    const auto i = static_cast<std::size_t>(node);
+    return a < crash_end_[i] && b > crash_start_[i];
+  }
+  /// True when instant `t` falls inside `node`'s crash window
+  /// (arrival-side test, mirroring the brownout boundary rules).
+  bool crash_at_instant(NodeId node, des::Time t) const {
+    const auto i = static_cast<std::size_t>(node);
+    return t >= crash_start_[i] && t < crash_end_[i];
+  }
+  void count_crash_drop(std::uint64_t wire_bytes);
+  void fire_crash(NodeId node);
+  void fire_restart(NodeId node);
+
   des::Engine& eng_;
   FabricConfig cfg_;
   Topology topo_;
@@ -251,6 +285,13 @@ class Fabric {
   std::uint64_t total_bytes_ = 0;
   FaultStats fault_stats_;
   des::Rng fault_rng_;
+  // Fail-stop crash state: per-node half-open windows [start, end) for
+  // the hot-path drop tests (kTimeNever start = never crashes) plus the
+  // event-driven liveness flags and subscriber list.
+  std::vector<des::Time> crash_start_;
+  std::vector<des::Time> crash_end_;
+  std::vector<bool> crashed_;
+  std::vector<CrashHandler> crash_handlers_;
 };
 
 }  // namespace net

@@ -49,6 +49,7 @@ enum : std::uint16_t {
   kProtoMpi = 1,
   kProtoLci = 2,
   kProtoRel = 3,  ///< reliability-sublayer control traffic (ACK / NACK)
+  kProtoFd = 4,   ///< failure-detector heartbeats
 };
 
 struct Message {

@@ -1,0 +1,124 @@
+// Failure detector: heartbeats into silence, adaptive suspicion, sticky
+// death confirmation, revival on ground-truth restart, and external
+// suspicion hints — all against the fabric's seeded fail-stop schedule.
+#include "ce/failure_detector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ce/world.hpp"
+#include "des/engine.hpp"
+#include "des/time.hpp"
+#include "net/fabric.hpp"
+
+namespace {
+
+using ce::CeConfig;
+using ce::CommWorld;
+using ce::PeerState;
+
+struct FdWorld {
+  des::Engine eng;
+  net::Fabric fab;
+  CommWorld comm;
+  FdWorld(int nodes, const net::FaultConfig& faults)
+      : fab(eng, nodes,
+            [&faults]() {
+              net::FabricConfig fc;
+              fc.faults = faults;
+              return fc;
+            }()),
+        comm(fab, ce::BackendKind::Mpi, fd_on()) {}
+  static CeConfig fd_on() {
+    CeConfig cfg;
+    cfg.fd.enabled = true;
+    return cfg;
+  }
+  ce::FailureDetectorDomain& fd() { return *comm.failure_detector(); }
+};
+
+TEST(FailureDetector, DetectsCrashWithinTheConfiguredBound) {
+  const des::Time crash_at = 100 * des::kMillisecond;
+  net::FaultConfig faults;
+  faults.crashes.push_back(net::CrashEvent{2, crash_at, 0});
+  FdWorld w(4, faults);
+
+  const bool detected = w.eng.run_while_pending([&]() {
+    for (int n = 0; n < 4; ++n) {
+      if (n == 2) continue;
+      if (w.fd().peer_state(n, 2) != PeerState::Dead) return false;
+    }
+    return true;  // every survivor has confirmed independently
+  });
+  ASSERT_TRUE(detected);
+  const ce::FdConfig& cfg = w.fd().config();
+  // Silence bound + confirmation + a few heartbeat periods of timer
+  // granularity. The adaptive threshold cannot exceed min_timeout here
+  // because heartbeats flow every heartbeat_interval before the crash.
+  const des::Duration bound = cfg.min_timeout + cfg.confirm_timeout +
+                              4 * cfg.heartbeat_interval;
+  EXPECT_LE(w.eng.now() - crash_at, bound);
+  EXPECT_GE(w.eng.now(), crash_at);  // no premature verdicts
+  EXPECT_GE(w.fd().stats().deaths, 1u);
+  // Detection latency histogram recorded against ground truth.
+  const obs::Histogram* h = w.comm.metrics().find_histogram("ce.fd.detect_ns");
+  ASSERT_NE(h, nullptr);
+  EXPECT_GT(h->count(), 0u);
+  w.fd().stop();
+  w.eng.run();  // the stopped detector lets the queue drain
+  // Every survivor eventually agrees; the corpse's own view is unused.
+  for (int n = 0; n < 4; ++n) {
+    if (n == 2) continue;
+    EXPECT_EQ(w.fd().peer_state(n, 2), PeerState::Dead) << "observer " << n;
+  }
+}
+
+TEST(FailureDetector, NoFalsePositivesOnACleanFabric) {
+  FdWorld w(4, {});
+  w.eng.run_until(500 * des::kMillisecond);
+  EXPECT_EQ(w.fd().stats().suspects, 0u);
+  EXPECT_EQ(w.fd().stats().deaths, 0u);
+  EXPECT_GT(w.fd().stats().heartbeats_sent, 0u);
+  w.fd().stop();
+  w.eng.run();
+}
+
+TEST(FailureDetector, RestartRevivesAStickyDeadVerdict) {
+  net::FaultConfig faults;
+  faults.crashes.push_back(net::CrashEvent{1, 50 * des::kMillisecond,
+                                           300 * des::kMillisecond});
+  FdWorld w(3, faults);
+  const bool detected = w.eng.run_while_pending(
+      [&]() { return w.fd().peer_state(0, 1) == PeerState::Dead; });
+  ASSERT_TRUE(detected);
+  EXPECT_LT(w.eng.now(), 300 * des::kMillisecond);
+
+  w.eng.run_until(400 * des::kMillisecond);
+  EXPECT_EQ(w.fd().peer_state(0, 1), PeerState::Alive);
+  EXPECT_GE(w.fd().stats().revivals, 1u);
+  w.fd().stop();
+  w.eng.run();
+}
+
+TEST(FailureDetector, SuspicionHintAcceleratesButHeartbeatsClearIt) {
+  FdWorld w(2, {});
+  // Let a few heartbeats flow so the peer is established as Alive.
+  w.eng.run_until(20 * des::kMillisecond);
+  ASSERT_EQ(w.fd().peer_state(0, 1), PeerState::Alive);
+
+  // An external hint (the reliability sublayer's ErrTimeout) suspects the
+  // peer immediately — no silence bound needed.
+  w.fd().suspect_hint(0, 1);
+  EXPECT_EQ(w.fd().peer_state(0, 1), PeerState::Suspect);
+  EXPECT_GE(w.fd().stats().hints, 1u);
+
+  // The peer is actually fine: its next heartbeat flips the verdict back
+  // before the confirmation timeout can declare death.
+  w.eng.run_until(60 * des::kMillisecond);
+  EXPECT_EQ(w.fd().peer_state(0, 1), PeerState::Alive);
+  EXPECT_GE(w.fd().stats().false_suspects, 1u);
+  EXPECT_EQ(w.fd().stats().deaths, 0u);
+  w.fd().stop();
+  w.eng.run();
+}
+
+}  // namespace

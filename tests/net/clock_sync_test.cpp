@@ -101,6 +101,28 @@ TEST(ClockSync, ReportsFailureWhenANodeIsUnreachable) {
   EXPECT_GE(res.probes_lost, 6u);  // rounds * max_attempts for node 2
 }
 
+TEST(ClockSync, CrashedNodeMidSyncTimesOutInsteadOfStalling) {
+  // Node 2 fail-stops just as the exchange begins: every probe reply from
+  // it is eaten by the crash window.  The sync must ride out the loss
+  // with per-probe timeouts — terminate, flag the node unsynced, and
+  // leave survivors exact — rather than wait forever.
+  Engine eng;
+  FabricConfig cfg;
+  cfg.faults.crashes.push_back(net::CrashEvent{2, 1, 0});
+  Fabric fab(eng, 4, cfg);
+  ClockSync::Options opts;
+  opts.rounds = 2;
+  opts.max_attempts = 3;
+  const auto res = ClockSync::synchronize(fab, opts);
+  EXPECT_FALSE(res.synced);
+  EXPECT_GT(res.probes_lost, 0u);  // probes to the corpse really timed out
+  ASSERT_EQ(res.offsets.size(), 4u);
+  EXPECT_EQ(res.offsets[2], 0) << "crashed node keeps the 0 fallback";
+  // The survivors' offsets are unaffected by the corpse (no skew here).
+  EXPECT_EQ(res.offsets[1], 0);
+  EXPECT_EQ(res.offsets[3], 0);
+}
+
 TEST(ClockSync, LeavesNicsQuiescent) {
   Engine eng;
   Fabric fab(eng, 3);
