@@ -41,6 +41,8 @@
 #include "des/inplace_callback.hpp"
 #include "hicma/driver.hpp"
 #include "net/fabric.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/timeline.hpp"
 #include "perf_core_baseline.hpp"
 
 // ---------------------------------------------------------------------------
@@ -258,6 +260,73 @@ FabricBenchResult bench_fabric_throughput(std::size_t msgs) {
   return r;
 }
 
+// ---------------------------------------------------------------------------
+// Timeline-sampler and flight-recorder overhead (the observability PR's
+// perf guards): the sampler hook is one compare per engine step, the
+// recorder a branch + 32-byte store per fabric send.  Both are measured
+// against the identical workload with the feature off.
+
+// Dense traffic deltas only (25 ns .. 675 ns): a 100 us sample boundary
+// then lands every few hundred events, the density of a real run's hot
+// phase.  Long timer deltas would make the catch-up loop sample hundreds
+// of boundaries per event and overstate the cost.
+constexpr des::Time kStepDeltas[8] = {25, 25, 25, 25, 50, 50, 675, 675};
+
+double bench_engine_steps(bool sampled, std::size_t ops) {
+  des::Engine eng;
+  obs::Timeline tl{obs::TimelineConfig{}};  // default cadence, in-memory
+  struct Stepper {
+    des::Engine* eng;
+    std::uint64_t fired = 0;
+    std::size_t remaining = 0;
+    void fire() {
+      ++fired;
+      if (remaining == 0) return;
+      --remaining;
+      eng->schedule_at(eng->now() + kStepDeltas[fired & 7],
+                       [this]() { fire(); });
+    }
+  };
+  Stepper st{&eng, 0, ops};
+  if (sampled) {
+    // A representative per-node probe set (the standard set registers a
+    // handful per node); all read live state.
+    for (int i = 0; i < 4; ++i) {
+      tl.add_probe("perf.qdepth", i, [&eng]() {
+        return static_cast<double>(eng.shard_pending(0));
+      });
+    }
+    tl.add_probe("perf.fired", -1,
+                 [&st]() { return static_cast<double>(st.fired); });
+    tl.arm(eng);
+  }
+  for (std::size_t i = 0; i < 64; ++i) {
+    eng.schedule_at(static_cast<des::Time>(i * 100), [&st]() { st.fire(); });
+  }
+  const auto t0 = Clock::now();
+  eng.run();
+  const double elapsed = seconds_since(t0);
+  return static_cast<double>(ops) / elapsed;
+}
+
+// Direct cost of one FlightRecorder::record() call (the fabric send path
+// makes exactly one per message).  Measured straight rather than by
+// differencing two fabric-throughput runs: the per-record cost is a few
+// nanoseconds, so at smoke sizes the difference of two wall-clock
+// throughputs is pure scheduler noise, while a tight loop over the call
+// itself is stable to a fraction of a nanosecond.
+double bench_record_ns(std::size_t n) {
+  obs::FlightRecorder& fr = obs::FlightRecorder::global();
+  fr.begin_run(2);
+  const auto t0 = Clock::now();
+  for (std::size_t i = 0; i < n; ++i) {
+    fr.record(static_cast<int>(i & 1), obs::FlightKind::MsgSend,
+              static_cast<des::Time>(i), 0, i & 1, 8);
+  }
+  const double elapsed = seconds_since(t0);
+  return elapsed * 1e9 / static_cast<double>(n);
+}
+
 struct Fig4Result {
   double wall_s = 0;
   double tts_s = 0;
@@ -360,9 +429,48 @@ int main(int argc, char** argv) {
   std::printf("fabric         : %.3g msg/s wall (%.3g allocs/msg)\n",
               fabr.msgs_per_sec, fabr.allocs_per_msg);
 
+  // A real end-to-end run first: its wall-clock and flight-record count
+  // are the denominator of the recorder-overhead guard below.
   const auto fig4 = bench_fig4_reduced();
   std::printf("fig4_reduced   : wall %.3f s, tts %.6f s, %.0f msgs\n",
               fig4.wall_s, fig4.tts_s, fig4.msgs);
+  std::uint64_t fig4_records = 0;
+  for (int n = -1; n < obs::FlightRecorder::global().num_nodes(); ++n) {
+    fig4_records += obs::FlightRecorder::global().total_records(n);
+  }
+
+  // Observability overhead guards.  Best-of interleaved pairs, like the
+  // queue comparison: the min over reps estimates intrinsic cost, and
+  // alternating keeps machine noise from taxing one side.  The recorder
+  // guard is direct-cost based — (records made by the fig4 run) x (cost
+  // of one record()) over the run's wall-clock — because the per-record
+  // cost is a few nanoseconds and differencing two wall-clock throughputs
+  // at smoke sizes measures scheduler noise, not the recorder.
+  const std::size_t tl_ops = smoke ? 400'000 : 2'000'000;
+  const int tl_reps = 9;
+  double base_steps = 0;
+  double sampled_steps = 0;
+  double base_msgs = 0;
+  double recorder_msgs = 0;
+  double record_ns = 1e99;
+  for (int r = 0; r < tl_reps; ++r) {
+    base_steps = std::max(base_steps, bench_engine_steps(false, tl_ops));
+    sampled_steps = std::max(sampled_steps, bench_engine_steps(true, tl_ops));
+    obs::FlightRecorder::global().set_enabled(false);
+    base_msgs = std::max(base_msgs, bench_fabric_throughput(fab_msgs).msgs_per_sec);
+    obs::FlightRecorder::global().set_enabled(true);
+    recorder_msgs =
+        std::max(recorder_msgs, bench_fabric_throughput(fab_msgs).msgs_per_sec);
+    record_ns = std::min(record_ns, bench_record_ns(tl_ops));
+  }
+  const double sampler_overhead = 1.0 - sampled_steps / base_steps;
+  const double recorder_overhead =
+      record_ns * static_cast<double>(fig4_records) / (fig4.wall_s * 1e9);
+  std::printf(
+      "timeline       : sampler %.3g ev/s vs %.3g (overhead %.2f%%), "
+      "recorder %.2f ns/record x %llu records (overhead %.2f%%)\n",
+      sampled_steps, base_steps, sampler_overhead * 100.0, record_ns,
+      static_cast<unsigned long long>(fig4_records), recorder_overhead * 100.0);
 
   std::FILE* f = std::fopen(out.c_str(), "w");
   if (f == nullptr) {
@@ -395,6 +503,17 @@ int main(int argc, char** argv) {
   json_field(f, "msgs_per_sec", fabr.msgs_per_sec);
   json_field(f, "allocs_per_msg", fabr.allocs_per_msg);
   json_field(f, "sim_seconds", fabr.sim_seconds, true);
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"timeline\": {\n");
+  json_field(f, "ops", static_cast<double>(tl_ops));
+  json_field(f, "base_events_per_sec", base_steps);
+  json_field(f, "sampled_events_per_sec", sampled_steps);
+  json_field(f, "sampler_overhead", sampler_overhead);
+  json_field(f, "base_msgs_per_sec", base_msgs);
+  json_field(f, "recorder_msgs_per_sec", recorder_msgs);
+  json_field(f, "record_ns_per_call", record_ns);
+  json_field(f, "fig4_records", static_cast<double>(fig4_records));
+  json_field(f, "recorder_overhead", recorder_overhead, true);
   std::fprintf(f, "  },\n");
   std::fprintf(f, "  \"fig4_reduced\": {\n");
   json_field(f, "nodes", 4);

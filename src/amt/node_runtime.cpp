@@ -6,6 +6,8 @@
 #include <optional>
 #include <string>
 
+#include "obs/flight_recorder.hpp"
+
 namespace amt {
 
 NodeRuntime::NodeRuntime(des::Engine& engine, net::Fabric& fabric, int rank,
@@ -163,6 +165,9 @@ void NodeRuntime::run_task(ReadyTask&& task, int worker_idx) {
   worker.charge(body + cfg_.task_epilogue_cost);
   span.reset();  // the span covers execute + epilogue, not the releases
   ++stats_.tasks_executed;
+  obs::FlightRecorder::global().record(
+      rank_, obs::FlightKind::TaskDone, eng_.now(), 0,
+      TaskKeyHash{}(task.key), stats_.tasks_executed);
 
   // Critical path: extend the trigger input's chain through this task.
   // The wait between release and body start is runtime overhead (scheduler

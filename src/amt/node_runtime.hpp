@@ -60,6 +60,12 @@ class NodeRuntime {
   const NodeStats& stats() const { return stats_; }
   int rank() const { return rank_; }
 
+  /// Timeline-probe introspection: tasks released but not yet dispatched,
+  /// announced flows still awaiting arrival, and GET DATAs on the wire.
+  std::size_t ready_tasks() const { return ready_.size(); }
+  std::size_t pending_fetches() const { return pending_.size(); }
+  int inflight_fetches() const { return inflight_fetches_; }
+
   /// Aggregate busy time over worker threads (for utilization reports).
   des::Duration worker_busy_time() const;
   /// Latest charged-busy horizon across this node's worker/comm threads.

@@ -1,7 +1,11 @@
 #include "amt/runtime.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <unordered_set>
+
+#include "obs/flight_recorder.hpp"
+#include "obs/timeline.hpp"
 
 namespace amt {
 
@@ -104,6 +108,13 @@ des::Duration Runtime::run_tolerant(des::Time start) {
     if (detector_ != nullptr) detector_->stop();
     eng_.run();
   }
+  if (ft_->status != RunStatus::Ok) {
+    // Failed closed: stamp the terminal status into the cluster ring so a
+    // post-mortem bundle ends with the verdict.
+    obs::FlightRecorder::global().record(
+        -1, obs::FlightKind::RunStatus, eng_.now(), 0,
+        static_cast<std::uint64_t>(ft_->status));
+  }
   // Makespan over surviving nodes only — a corpse's charged horizon is
   // not part of the completed schedule.
   des::Time end = eng_.now();
@@ -152,6 +163,14 @@ void Runtime::on_peer_dead(int dead_rank) {
   char& flag = ft_->node_dead[static_cast<std::size_t>(dead_rank)];
   if (flag != 0) return;  // detector verdicts repeat per observer
   flag = 1;
+  obs::FlightRecorder::global().record(
+      -1, obs::FlightKind::Recovery, eng_.now(), 0,
+      static_cast<std::uint64_t>(dead_rank));
+  if (timeline_ != nullptr) {
+    char mark[32];
+    std::snprintf(mark, sizeof mark, "recovery.n%d", dead_rank);
+    timeline_->mark_phase(mark, eng_.now());
+  }
   const std::vector<int> survivors = ft_->survivors();
   if (survivors.empty()) {
     ft_->fail(RunStatus::ErrNoSurvivors);

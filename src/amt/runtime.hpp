@@ -26,6 +26,10 @@
 #include "amt/node_runtime.hpp"
 #include "amt/task_graph.hpp"
 
+namespace obs {
+class Timeline;
+}
+
 namespace amt {
 
 class Runtime {
@@ -59,6 +63,11 @@ class Runtime {
   /// detector is wired), public so tests can inject verdicts directly.
   void on_peer_dead(int dead_rank);
 
+  /// Attaches a timeline sampler for recovery phase marks (the span from
+  /// a confirmed death to run end shows up in the bottleneck report's
+  /// phase attribution).  Null detaches; not owned.
+  void set_timeline(obs::Timeline* tl) { timeline_ = tl; }
+
   /// Sum of per-node counters.
   NodeStats aggregate_stats() const;
   std::uint64_t total_tasks_executed() const;
@@ -78,6 +87,7 @@ class Runtime {
   RuntimeConfig cfg_;
   net::GlobalClock clock_;
   std::vector<std::unique_ptr<NodeRuntime>> nodes_;
+  obs::Timeline* timeline_ = nullptr;
 
   // --- fault tolerance ---------------------------------------------------
   std::unique_ptr<FaultState> ft_;  ///< null = tolerance off

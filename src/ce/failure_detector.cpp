@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/flight_recorder.hpp"
 #include "obs/stats.hpp"
 
 namespace ce {
@@ -55,6 +56,7 @@ class FailureDetectorDomain::NodeDetector final : public net::LinkShim {
     PeerState& st = state_[static_cast<std::size_t>(peer)];
     if (st != PeerState::Alive) return;
     st = PeerState::Suspect;
+    domain_.track_view(peer, PeerState::Alive, PeerState::Suspect);
     ++domain_.stats_.suspects;
     ++domain_.stats_.hints;
     if (domain_.rec_ != nullptr) {
@@ -73,6 +75,7 @@ class FailureDetectorDomain::NodeDetector final : public net::LinkShim {
     mean_gap_[i] = 0.0;
     if (state_[i] != PeerState::Dead) return;
     state_[i] = PeerState::Alive;
+    domain_.track_view(peer, PeerState::Dead, PeerState::Alive);
     ++domain_.stats_.revivals;
     if (domain_.rec_ != nullptr) {
       domain_.rec_->counter("ce.fd.revivals").add();
@@ -113,6 +116,7 @@ class FailureDetectorDomain::NodeDetector final : public net::LinkShim {
     last_rx_[i] = now;
     if (state_[i] == PeerState::Suspect) {
       state_[i] = PeerState::Alive;
+      domain_.track_view(peer, PeerState::Suspect, PeerState::Alive);
       ++domain_.stats_.false_suspects;
       if (domain_.rec_ != nullptr) {
         domain_.rec_->counter("ce.fd.false_suspects").add();
@@ -147,6 +151,7 @@ class FailureDetectorDomain::NodeDetector final : public net::LinkShim {
       const des::Duration threshold = suspect_threshold(i);
       if (state_[i] == PeerState::Alive && silence > threshold) {
         state_[i] = PeerState::Suspect;
+        domain_.track_view(peer, PeerState::Alive, PeerState::Suspect);
         ++domain_.stats_.suspects;
         if (domain_.rec_ != nullptr) {
           domain_.rec_->counter("ce.fd.suspects").add();
@@ -156,6 +161,7 @@ class FailureDetectorDomain::NodeDetector final : public net::LinkShim {
       if (state_[i] == PeerState::Suspect &&
           silence > threshold + cfg.confirm_timeout) {
         state_[i] = PeerState::Dead;
+        domain_.track_view(peer, PeerState::Suspect, PeerState::Dead);
         ++domain_.stats_.deaths;
         domain_.record_death(node_, peer, now);
         domain_.notify(node_, peer, PeerState::Dead);
@@ -193,6 +199,8 @@ class FailureDetectorDomain::NodeDetector final : public net::LinkShim {
 FailureDetectorDomain::FailureDetectorDomain(net::Fabric& fabric, FdConfig cfg)
     : fabric_(fabric), cfg_(cfg) {
   const int n = fabric_.num_nodes();
+  suspect_views_of_.resize(static_cast<std::size_t>(n), 0);
+  dead_views_of_.resize(static_cast<std::size_t>(n), 0);
   nodes_.reserve(static_cast<std::size_t>(n));
   for (int node = 0; node < n; ++node) {
     nodes_.emplace_back(std::make_unique<NodeDetector>(*this, node));
@@ -225,7 +233,20 @@ void FailureDetectorDomain::stop() {
 
 void FailureDetectorDomain::set_recorder(obs::Recorder* rec) { rec_ = rec; }
 
+void FailureDetectorDomain::track_view(int peer, PeerState from,
+                                       PeerState to) {
+  const auto i = static_cast<std::size_t>(peer);
+  if (from == PeerState::Suspect) --suspect_views_of_[i];
+  if (from == PeerState::Dead) --dead_views_of_[i];
+  if (to == PeerState::Suspect) ++suspect_views_of_[i];
+  if (to == PeerState::Dead) ++dead_views_of_[i];
+}
+
 void FailureDetectorDomain::notify(int node, int peer, PeerState state) {
+  obs::FlightRecorder::global().record(
+      node, obs::FlightKind::FdState, fabric_.engine().now(), 0,
+      static_cast<std::uint64_t>(peer),
+      static_cast<std::uint64_t>(static_cast<std::uint8_t>(state)));
   for (const StateCallback& cb : subscribers_) cb(node, peer, state);
 }
 

@@ -86,6 +86,16 @@ class FailureDetectorDomain {
   /// `node`'s current view of `peer`.
   PeerState peer_state(int node, int peer) const;
 
+  /// How many live observers currently view `peer` as Suspect / Dead.
+  /// Maintained incrementally at each state transition, so a timeline
+  /// probe sampling every peer is O(n) per sample, not O(n^2).
+  std::uint32_t suspect_views(int peer) const {
+    return suspect_views_of_.at(static_cast<std::size_t>(peer));
+  }
+  std::uint32_t dead_views(int peer) const {
+    return dead_views_of_.at(static_cast<std::size_t>(peer));
+  }
+
   /// External suspicion hint (the reliability sublayer's ErrTimeout):
   /// accelerates Alive -> Suspect without waiting for the silence bound.
   /// Confirmation still requires confirm_timeout of real silence.
@@ -106,6 +116,8 @@ class FailureDetectorDomain {
 
   void notify(int node, int peer, PeerState state);
   void record_death(int node, int peer, des::Time now);
+  /// Updates the aggregate view counters for one observer's transition.
+  void track_view(int peer, PeerState from, PeerState to);
 
   net::Fabric& fabric_;
   FdConfig cfg_;
@@ -114,6 +126,8 @@ class FailureDetectorDomain {
   obs::Recorder* rec_ = nullptr;
   std::vector<StateCallback> subscribers_;
   std::vector<std::unique_ptr<NodeDetector>> nodes_;
+  std::vector<std::uint32_t> suspect_views_of_;  ///< observers seeing Suspect
+  std::vector<std::uint32_t> dead_views_of_;     ///< observers seeing Dead
 };
 
 }  // namespace ce

@@ -7,6 +7,7 @@
 #include <cstring>
 
 #include "des/trace_sink.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/stats.hpp"
 
 namespace ce {
@@ -250,6 +251,9 @@ void ReliableChannel::expire(net::NodeId dst, std::uint64_t seq) {
   if (u.attempts - 1 >= domain_.cfg_.max_retries) {
     // Retry budget exhausted: give up recoverably.
     ++domain_.stats_.timeouts;
+    obs::FlightRecorder::global().record(node_, obs::FlightKind::RelTimeout,
+                                         eng_.now(), 0,
+                                         static_cast<std::uint64_t>(dst), seq);
     if (domain_.rec_ != nullptr) {
       domain_.rec_->counter("ce.rel.timeouts").add();
     }
@@ -285,6 +289,9 @@ void ReliableChannel::expire(net::NodeId dst, std::uint64_t seq) {
 
   ++u.attempts;
   ++domain_.stats_.retransmits;
+  obs::FlightRecorder::global().record(node_, obs::FlightKind::RelRetransmit,
+                                       eng_.now(), 0,
+                                       static_cast<std::uint64_t>(dst), seq);
   if (domain_.rec_ != nullptr) {
     domain_.rec_->counter("ce.rel.retransmits").add();
   }
@@ -433,6 +440,10 @@ std::size_t ReliableDomain::unacked() const {
   std::size_t n = 0;
   for (const auto& ch : channels_) n += ch->unacked();
   return n;
+}
+
+std::size_t ReliableDomain::unacked(net::NodeId node) const {
+  return channels_.at(static_cast<std::size_t>(node))->unacked();
 }
 
 void ReliableDomain::peer_dead(net::NodeId peer) {

@@ -186,6 +186,11 @@ class ReliableDomain {
   /// check for drivers and tests).
   std::size_t unacked() const;
 
+  /// Messages `node` currently has awaiting an ACK (its send window /
+  /// RTO-pending count — every unacked message holds a pending RTO
+  /// timer).  O(peers) per call; used by the timeline sampler.
+  std::size_t unacked(net::NodeId node) const;
+
  private:
   friend class ReliableChannel;
 

@@ -26,6 +26,27 @@ namespace des {
 
 class TraceSink;
 
+/// Periodic simulated-time observation hook (see Engine::set_sampler).
+///
+/// The engine never schedules sampler work as events: doing so would
+/// consume global sequence numbers (perturbing the total event order every
+/// determinism pin relies on) and a self-rescheduling periodic event would
+/// keep run() from ever draining.  Instead the engine compares each popped
+/// event's timestamp against the sampler's next due time — one integer
+/// compare per step when sampling is armed, and the same one compare
+/// against kTimeNever when it is not.
+class Sampler {
+ public:
+  virtual ~Sampler() = default;
+
+  /// The next event to fire carries timestamp `now` >= the previously
+  /// returned due time.  The implementation records samples for every due
+  /// boundary <= `now` (the observable state is exactly "all events
+  /// strictly before the boundary have fired") and returns the next due
+  /// time, or kTimeNever to stop sampling.
+  virtual Time on_sample(Time now) = 0;
+};
+
 class Engine {
  public:
   Engine() = default;
@@ -87,6 +108,12 @@ class Engine {
     if (queue_.empty()) return false;
     auto fired = queue_.pop();
     assert(fired.time >= now_);
+    // Sampling happens between events: the popped event has not run yet,
+    // so a sample at boundary t <= fired.time observes the state left by
+    // every event that fired strictly before t.  Event order is untouched.
+    if (fired.time >= sample_due_) {
+      sample_due_ = sampler_->on_sample(fired.time);
+    }
     now_ = fired.time;
     ++events_fired_;
     fired.fn();
@@ -121,6 +148,22 @@ class Engine {
   std::uint64_t events_fired() const { return events_fired_; }
   std::size_t num_shards() const { return queue_.num_shards(); }
 
+  /// Pending events on one shard (shard_of(node) for per-node depth
+  /// probes; shard 0 carries global timers).
+  std::size_t shard_pending(std::uint32_t shard) const {
+    return queue_.shard_size(shard);
+  }
+
+  /// Arms (or, with null, disarms) the periodic sampler.  `first_due` is
+  /// the first boundary worth observing; the sampler must outlive every
+  /// subsequent step().  Sampling never perturbs event order — see
+  /// Sampler.
+  void set_sampler(Sampler* s, Time first_due = 0) {
+    sampler_ = s;
+    sample_due_ = s == nullptr ? kTimeNever : first_due;
+  }
+  Sampler* sampler() const { return sampler_; }
+
   /// Conservative lookahead bound for `shard` (see ShardedEventQueue).
   Time safe_horizon(std::uint32_t shard, Duration lookahead) {
     return queue_.safe_horizon(shard, lookahead);
@@ -139,6 +182,8 @@ class Engine {
   Time now_ = 0;
   std::uint64_t events_fired_ = 0;
   TraceSink* trace_ = nullptr;
+  Sampler* sampler_ = nullptr;
+  Time sample_due_ = kTimeNever;
 };
 
 }  // namespace des

@@ -41,6 +41,19 @@ class TraceSink {
     (void)id;
     (void)begin;
   }
+
+  /// One point on a named counter series (Chrome-trace ph:"C"): the value
+  /// of `name` on `track` becomes `value` at time `t` and holds until the
+  /// next point.  The timeline sampler emits these so queue depths, link
+  /// bytes, and FD states render as curves next to the span/flow tracks.
+  /// Default: ignored.
+  virtual void counter(std::string_view track, std::string_view name, Time t,
+                       double value) {
+    (void)track;
+    (void)name;
+    (void)t;
+    (void)value;
+  }
 };
 
 }  // namespace des

@@ -1,13 +1,48 @@
 #include "hicma/driver.hpp"
 
 #include <algorithm>
+#include <cstdio>
+#include <string>
 
 #include "des/engine.hpp"
 #include "net/fabric.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/stats.hpp"
+#include "obs/timeline.hpp"
 #include "obs/trace.hpp"
+#include "amt/probes.hpp"
 #include "amt/runtime.hpp"
 
 namespace hicma {
+namespace {
+
+/// Context sections for the post-mortem bundle: the knobs that reproduce
+/// the run and the ground-truth crash schedule it ran under.
+std::string postmortem_config_json(const ExperimentConfig& cfg, int workers) {
+  std::string out = "{ \"backend\": \"";
+  out += cfg.backend == ce::BackendKind::Lci ? "lci" : "mpi";
+  out += "\", \"nodes\": " + std::to_string(cfg.nodes);
+  out += ", \"workers\": " + std::to_string(workers);
+  out += ", \"n\": " + std::to_string(cfg.tlr.n);
+  out += ", \"nb\": " + std::to_string(cfg.tlr.nb);
+  out += " }";
+  return out;
+}
+
+std::string crash_schedule_json(const net::FaultConfig& f) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < f.crashes.size(); ++i) {
+    const net::CrashEvent& c = f.crashes[i];
+    out += i == 0 ? " " : ", ";
+    out += "{ \"node\": " + std::to_string(c.node);
+    out += ", \"crash_at\": " + std::to_string(c.crash_at);
+    out += ", \"restart_at\": " + std::to_string(c.restart_at) + " }";
+  }
+  out += f.crashes.empty() ? "]" : " ]";
+  return out;
+}
+
+}  // namespace
 
 int workers_for(int cores, int nodes, ce::BackendKind backend,
                 bool progress_thread) {
@@ -20,6 +55,8 @@ int workers_for(int cores, int nodes, ce::BackendKind backend,
 ExperimentResult run_tlr_cholesky(const ExperimentConfig& cfg) {
   des::Engine eng;
   const auto tracer = obs::Tracer::attach_from_env(eng);
+  const auto timeline = obs::Timeline::attach_from_env(eng);
+  if (timeline != nullptr) timeline->set_counter_sink(tracer.get());
   net::Fabric fabric(eng, cfg.nodes, cfg.fabric);
   ce::CommWorld comm(fabric, cfg.backend, cfg.ce, cfg.mpi, cfg.lci);
 
@@ -32,7 +69,14 @@ ExperimentResult run_tlr_cholesky(const ExperimentConfig& cfg) {
 
   TlrCholeskyGraph graph(cfg.tlr, cfg.nodes);
   amt::Runtime runtime(eng, fabric, comm, graph, rt);
+  if (timeline != nullptr) {
+    amt::install_standard_probes(*timeline, fabric, comm, runtime);
+    runtime.set_timeline(timeline.get());
+    timeline->mark_phase("run.start", eng.now());
+  }
+  const des::Time t0 = eng.now();
   const des::Duration makespan = runtime.run();
+  if (timeline != nullptr) timeline->finish(t0 + makespan);
 
   ExperimentResult res;
   res.tts_s = des::to_seconds(makespan);
@@ -63,11 +107,24 @@ ExperimentResult run_tlr_cholesky(const ExperimentConfig& cfg) {
   }
   res.fabric_messages = fabric.total_messages();
   res.fabric_bytes = fabric.total_bytes();
+  fabric.export_metrics(comm.metrics());
   res.metrics = comm.metrics();
   amt::export_latency_metrics(res.runtime_stats, res.metrics);
   res.mean_rank = graph.mean_offdiag_rank();
   if (cfg.tlr.mode == TlrOptions::Mode::Real) {
     res.residual = graph.verify();
+  }
+  if (timeline != nullptr) {
+    // stderr: every driver multiplexes machine-readable JSON on stdout.
+    const std::string report = timeline->report();
+    std::fwrite(report.data(), 1, report.size(), stderr);
+    timeline->write();
+  }
+  if (res.run_status != amt::RunStatus::Ok) {
+    obs::FlightRecorder::global().dump_postmortem(
+        amt::run_status_name(res.run_status),
+        postmortem_config_json(cfg, rt.workers),
+        crash_schedule_json(cfg.fabric.faults), obs::metrics_json(res.metrics));
   }
   return res;
 }

@@ -11,6 +11,7 @@
 
 #include "des/trace_sink.hpp"
 #include "net/payload_pool.hpp"
+#include "obs/flight_recorder.hpp"
 
 namespace net {
 namespace {
@@ -117,6 +118,9 @@ Fabric::Fabric(des::Engine& engine, int num_nodes, FabricConfig config)
     : eng_(engine), cfg_(config),
       topo_(validated(cfg_, num_nodes), num_nodes),
       fault_rng_(des::derive_seed(config.faults.seed, 0xFA01)) {
+  // The flight recorder's rings always describe the latest simulation;
+  // a new fabric is the start of one.
+  obs::FlightRecorder::global().begin_run(num_nodes);
   nics_.reserve(static_cast<std::size_t>(num_nodes));
   for (NodeId n = 0; n < num_nodes; ++n) {
     nics_.emplace_back(std::unique_ptr<Nic>(new Nic(*this, n)));
@@ -153,6 +157,8 @@ void Fabric::fire_crash(NodeId node) {
   ++fault_stats_.crashes;
   count_fault("net.fault.crashes");
   const std::size_t n = eng_.cancel_shard(shard_of(node));
+  obs::FlightRecorder::global().record(node, obs::FlightKind::Crash,
+                                       eng_.now(), 0, n);
   fault_stats_.crash_cancelled_events += n;
   if (rec_ != nullptr && n > 0) {
     rec_->counter("net.fault.crash_cancelled").add(n);
@@ -162,6 +168,8 @@ void Fabric::fire_crash(NodeId node) {
 }
 
 void Fabric::fire_restart(NodeId node) {
+  obs::FlightRecorder::global().record(node, obs::FlightKind::Restart,
+                                       eng_.now());
   crashed_[static_cast<std::size_t>(node)] = false;
   for (const CrashHandler& h : crash_handlers_) h(node, true);
 }
@@ -328,6 +336,9 @@ void Fabric::do_send(Nic& src, Message m, Nic::SentHandler on_sent) {
   total_bytes_ += m.wire_bytes;
   ++src.stats_.msgs_sent;
   src.stats_.bytes_sent += m.wire_bytes;
+  obs::FlightRecorder::global().record(m.src, obs::FlightKind::MsgSend, now, 0,
+                                       static_cast<std::uint64_t>(m.dst),
+                                       m.wire_bytes);
 
   Nic& dst = nic(m.dst);
 
@@ -398,6 +409,10 @@ void Fabric::do_send(Nic& src, Message m, Nic::SentHandler on_sent) {
     ++fault_stats_.drops;
     fault_stats_.dropped_bytes += m.wire_bytes;
     count_fault("net.fault.drops");
+    obs::FlightRecorder::global().record(
+        m.src, obs::FlightKind::MsgDrop, now,
+        static_cast<std::uint16_t>(obs::DropWhy::Brownout),
+        static_cast<std::uint64_t>(m.dst), m.wire_bytes);
     return;
   }
 
@@ -408,6 +423,10 @@ void Fabric::do_send(Nic& src, Message m, Nic::SentHandler on_sent) {
   // sequence of surviving traffic matches the crash-free run).
   if (faulted && crash_overlaps(m.src, egress_start, egress_end)) {
     count_crash_drop(m.wire_bytes);
+    obs::FlightRecorder::global().record(
+        m.src, obs::FlightKind::MsgDrop, now,
+        static_cast<std::uint16_t>(obs::DropWhy::Crash),
+        static_cast<std::uint64_t>(m.dst), m.wire_bytes);
     return;
   }
 
@@ -420,6 +439,10 @@ void Fabric::do_send(Nic& src, Message m, Nic::SentHandler on_sent) {
     ++fault_stats_.drops;
     fault_stats_.dropped_bytes += m.wire_bytes;
     count_fault("net.fault.drops");
+    obs::FlightRecorder::global().record(
+        m.src, obs::FlightKind::MsgDrop, now,
+        static_cast<std::uint16_t>(obs::DropWhy::Fault),
+        static_cast<std::uint64_t>(m.dst), m.wire_bytes);
     return;
   }
 
@@ -448,6 +471,10 @@ void Fabric::do_send(Nic& src, Message m, Nic::SentHandler on_sent) {
     ++fault_stats_.drops;
     fault_stats_.dropped_bytes += m.wire_bytes;
     count_fault("net.fault.drops");
+    obs::FlightRecorder::global().record(
+        m.dst, obs::FlightKind::MsgDrop, now,
+        static_cast<std::uint16_t>(obs::DropWhy::Brownout),
+        static_cast<std::uint64_t>(m.src), m.wire_bytes);
     return;
   }
 
@@ -456,6 +483,10 @@ void Fabric::do_send(Nic& src, Message m, Nic::SentHandler on_sent) {
   // charges stand, the dead NIC just never raises a completion.
   if (faulted && crash_at_instant(m.dst, available_at)) {
     count_crash_drop(m.wire_bytes);
+    obs::FlightRecorder::global().record(
+        m.dst, obs::FlightKind::MsgDrop, now,
+        static_cast<std::uint16_t>(obs::DropWhy::Crash),
+        static_cast<std::uint64_t>(m.src), m.wire_bytes);
     return;
   }
 
@@ -542,6 +573,64 @@ void Fabric::do_send(Nic& src, Message m, Nic::SentHandler on_sent) {
     Delivery* const dd = acquire_delivery(dst, std::move(*dup));
     eng_.schedule_on(dst_shard, dup_end,
                      [this, dd]() { deliver_and_release(dd); });
+  }
+}
+
+void Fabric::export_metrics(obs::Recorder& rec) const {
+  // Totals the send path accumulates as plain fields (no per-message
+  // recorder cost): fabric frame totals and the fault BYTE counters —
+  // the per-event fault counts are already live-recorded by count_fault.
+  rec.counter("net.msgs").add(total_msgs_);
+  rec.counter("net.bytes").add(total_bytes_);
+  if (fault_stats_.dropped_bytes > 0) {
+    rec.counter("net.fault.dropped_bytes").add(fault_stats_.dropped_bytes);
+  }
+  if (fault_stats_.dup_bytes > 0) {
+    rec.counter("net.fault.dup_bytes").add(fault_stats_.dup_bytes);
+  }
+  std::uint64_t delivered_msgs = 0;
+  std::uint64_t delivered_bytes = 0;
+  for (const auto& nic : nics_) {
+    delivered_msgs += nic->stats_.msgs_received;
+    delivered_bytes += nic->stats_.bytes_received;
+  }
+  rec.counter("net.delivered_msgs").add(delivered_msgs);
+  rec.counter("net.delivered_bytes").add(delivered_bytes);
+
+  // Per-link traffic exists only when the topology routes over explicit
+  // link FIFOs.  Boundary tier t sits between switch tiers t and t+1;
+  // the top tier has no uplinks.
+  if (!topo_.explicit_links()) return;
+  char name[64];
+  for (int t = 0; t + 1 < topo_.num_tiers(); ++t) {
+    std::snprintf(name, sizeof name, "net.link.t%d.up_msgs", t);
+    rec.counter(name).add(topo_.boundary_msgs_up(t));
+    std::snprintf(name, sizeof name, "net.link.t%d.up_bytes", t);
+    rec.counter(name).add(topo_.boundary_bytes_up(t));
+    std::snprintf(name, sizeof name, "net.link.t%d.down_bytes", t);
+    rec.counter(name).add(topo_.boundary_bytes_down(t));
+    for (int sw = 0; sw < topo_.num_switches(t); ++sw) {
+      for (int p = 0; p < topo_.uplinks(t); ++p) {
+        const LinkStats& up = topo_.up_link(t, sw, p);
+        const LinkStats& down = topo_.down_link(t, sw, p);
+        if (up.msgs > 0) {
+          std::snprintf(name, sizeof name, "net.link.t%d.s%d.p%d.up_msgs", t,
+                        sw, p);
+          rec.counter(name).add(up.msgs);
+          std::snprintf(name, sizeof name, "net.link.t%d.s%d.p%d.up_bytes", t,
+                        sw, p);
+          rec.counter(name).add(up.bytes);
+        }
+        if (down.msgs > 0) {
+          std::snprintf(name, sizeof name, "net.link.t%d.s%d.p%d.down_msgs", t,
+                        sw, p);
+          rec.counter(name).add(down.msgs);
+          std::snprintf(name, sizeof name, "net.link.t%d.s%d.p%d.down_bytes",
+                        t, sw, p);
+          rec.counter(name).add(down.bytes);
+        }
+      }
+    }
   }
 }
 

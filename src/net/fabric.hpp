@@ -219,6 +219,15 @@ class Fabric {
   void set_recorder(obs::Recorder* rec);
   obs::Recorder* recorder() const { return rec_; }
 
+  /// End-of-run export of the counters that are NOT live-recorded on the
+  /// send path: fault byte totals (net.fault.dropped_bytes / dup_bytes),
+  /// fabric frame totals (net.msgs / net.bytes), aggregate NIC delivery
+  /// counters (net.delivered_msgs / net.delivered_bytes), and — when the
+  /// topology routes over explicit links — per-boundary-tier and
+  /// per-link msg/byte counters (net.link.*).  Call once at quiesce;
+  /// calling twice double-counts.
+  void export_metrics(obs::Recorder& rec) const;
+
  private:
   friend class Nic;
 

@@ -10,7 +10,19 @@ void Gauge::set(double v) {
   value_ = v;
   if (!seen_ || v > max_) max_ = v;
   if (!seen_ || v < min_) min_ = v;
+  sum_ += v;
+  ++count_;
   seen_ = true;
+}
+
+void Gauge::set_at(double v, double t) {
+  if (timed_ && t > last_t_) {
+    tw_integral_ += value_ * (t - last_t_);
+    tw_span_ += t - last_t_;
+  }
+  last_t_ = t;
+  timed_ = true;
+  set(v);
 }
 
 void Gauge::merge(const Gauge& o) {
@@ -18,6 +30,14 @@ void Gauge::merge(const Gauge& o) {
   value_ = o.value_;  // "last writer": merge order is caller-defined
   if (!seen_ || o.max_ > max_) max_ = o.max_;
   if (!seen_ || o.min_ < min_) min_ = o.min_;
+  sum_ += o.sum_;
+  count_ += o.count_;
+  // Disjoint per-node observation windows: integrals and spans add, so
+  // the merged tw_mean() weights each side by its observed span.  The
+  // merged gauge does not continue either side's set_at() stream.
+  tw_integral_ += o.tw_integral_;
+  tw_span_ += o.tw_span_;
+  timed_ = false;
   seen_ = true;
 }
 
@@ -137,8 +157,10 @@ std::string Recorder::summary() const {
     out += buf;
   }
   for (const auto& [name, g] : gauges_) {
-    std::snprintf(buf, sizeof buf, "%-32s %.3g (min %.3g, max %.3g)\n",
-                  name.c_str(), g.value(), g.min(), g.max());
+    std::snprintf(buf, sizeof buf,
+                  "%-32s %.3g (min %.3g, max %.3g, mean %.3g, n %llu)\n",
+                  name.c_str(), g.value(), g.min(), g.max(), g.mean(),
+                  static_cast<unsigned long long>(g.count()));
     out += buf;
   }
   for (const auto& [name, h] : histograms_) {
@@ -209,6 +231,12 @@ std::string metrics_json(const Recorder& rec) {
     append_json_number(out, g.min());
     out += ", \"max\": ";
     append_json_number(out, g.max());
+    out += ", \"count\": ";
+    out += std::to_string(g.count());
+    out += ", \"mean\": ";
+    append_json_number(out, g.mean());
+    out += ", \"tw_mean\": ";
+    append_json_number(out, g.tw_mean());
     out += "}";
   }
   out += first ? "},\n" : "\n  },\n";

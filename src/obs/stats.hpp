@@ -29,21 +29,51 @@ class Counter {
   std::uint64_t value_ = 0;
 };
 
-/// Last-written value, with the extremes tracked (queue depths, window
-/// occupancy, ...).
+/// Sampled level (queue depths, window occupancy, ...): the last written
+/// value plus the extremes, the sample count, the plain mean, and — when
+/// samples carry timestamps via set_at() — a time-weighted mean.
+///
+/// merge() is how per-node gauges become cluster aggregates: count, sum,
+/// and the time-weighted integral add across nodes, so mean() is the mean
+/// over every sample taken anywhere and tw_mean() weights each node's
+/// levels by how long they were held.  value() stays last-writer-wins
+/// (merge order), which is only meaningful for single-writer gauges —
+/// aggregate consumers should read mean()/tw_mean()/min()/max().
 class Gauge {
  public:
   void set(double v);
+  /// set() with a timestamp: additionally charges the PREVIOUS value for
+  /// the [previous t, t) interval, so tw_mean() is the time average of the
+  /// held level.  Timestamps must be non-decreasing per gauge.
+  void set_at(double v, double t);
   double value() const { return value_; }
   double max() const { return max_; }
   double min() const { return min_; }
+  std::uint64_t count() const { return count_; }
+  /// Mean over all set()/set_at() samples; 0 when empty.
+  double mean() const {
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  }
+  /// Time-weighted mean over the set_at() intervals.  Falls back to the
+  /// plain mean when no time span was observed (zero or one set_at()).
+  double tw_mean() const {
+    return tw_span_ > 0 ? tw_integral_ / tw_span_ : mean();
+  }
+  /// Total observed span behind tw_mean(), in set_at() time units.
+  double tw_span() const { return tw_span_; }
   void merge(const Gauge& o);
 
  private:
   double value_ = 0;
   double max_ = 0;
   double min_ = 0;
+  double sum_ = 0;
+  std::uint64_t count_ = 0;
+  double tw_integral_ = 0;  ///< sum of value * held-interval
+  double tw_span_ = 0;      ///< sum of held-interval lengths
+  double last_t_ = 0;
   bool seen_ = false;
+  bool timed_ = false;  ///< a set_at() established last_t_
 };
 
 /// Log-bucketed histogram of non-negative samples (latencies in ns, byte

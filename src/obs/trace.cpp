@@ -233,6 +233,13 @@ void Tracer::flow(std::string_view track, std::string_view name, des::Time t,
                           begin ? Kind::FlowBegin : Kind::FlowEnd, id});
 }
 
+void Tracer::counter(std::string_view track, std::string_view name,
+                     des::Time t, double value) {
+  if (!admit()) return;
+  events_.push_back(
+      Event{tid_for(track), std::string(name), t, 0, Kind::Counter, 0, value});
+}
+
 std::string Tracer::json() const {
   std::string out;
   out.reserve(events_.size() * 96 + 256);
@@ -270,6 +277,15 @@ std::string Tracer::json() const {
         out += ",\"dur\":";
         append_us(out, e.dur);
         break;
+      case Kind::Counter:
+        // Counter tracks: the viewer keys series by (pid, name), renders
+        // the value as a stepped area chart, and holds each point until
+        // the next one.
+        out += "{\"ph\":\"C\",\"pid\":0,\"tid\":";
+        out += std::to_string(e.tid);
+        out += ",\"ts\":";
+        append_us(out, e.ts);
+        break;
       case Kind::FlowBegin:
       case Kind::FlowEnd:
         // Flow arrows: the viewer matches "s"/"f" pairs by (cat, id, name)
@@ -290,7 +306,15 @@ std::string Tracer::json() const {
     }
     out += ",\"name\":\"";
     append_escaped(out, e.name);
-    out += "\"}";
+    out += '"';
+    if (e.kind == Kind::Counter) {
+      char buf[48];
+      std::snprintf(buf, sizeof buf, "%.17g", e.value);
+      out += ",\"args\":{\"value\":";
+      out += buf;
+      out += '}';
+    }
+    out += '}';
   }
   out += "]}";
   return out;

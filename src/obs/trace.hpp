@@ -49,6 +49,8 @@ class Tracer final : public des::TraceSink {
                des::Time t) override;
   void flow(std::string_view track, std::string_view name, des::Time t,
             std::uint64_t id, bool begin) override;
+  void counter(std::string_view track, std::string_view name, des::Time t,
+               double value) override;
 
   std::size_t num_events() const { return events_.size(); }
 
@@ -71,7 +73,7 @@ class Tracer final : public des::TraceSink {
   static std::unique_ptr<Tracer> attach_from_env(des::Engine& engine);
 
  private:
-  enum class Kind : std::uint8_t { Span, Instant, FlowBegin, FlowEnd };
+  enum class Kind : std::uint8_t { Span, Instant, FlowBegin, FlowEnd, Counter };
 
   struct Event {
     int tid;
@@ -80,6 +82,7 @@ class Tracer final : public des::TraceSink {
     des::Duration dur;  // spans only
     Kind kind;
     std::uint64_t flow_id;  // flow events only
+    double value = 0;       // counter events only
   };
 
   int tid_for(std::string_view track);

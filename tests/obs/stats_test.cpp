@@ -54,6 +54,46 @@ TEST(Gauge, MergeCombinesExtremes) {
   EXPECT_DOUBLE_EQ(a.min(), -7);
 }
 
+// Cross-node merge semantics, pinned: min/max combine, count and sum
+// add (so mean() is the global sample mean), and the time-weighted
+// integrals add so tw_mean() weights each node by its observed span.
+// The merged "current value" stays last-writer by merge order.
+TEST(Gauge, MergeCarriesCountAndMeans) {
+  Gauge a, b;
+  // Node a: level 10 held for 4 time units, then 0.
+  a.set_at(10, 0);
+  a.set_at(0, 4);
+  // Node b: level 2 held for 2 time units, then 42.
+  b.set_at(2, 10);
+  b.set_at(42, 12);
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.value(), 42);  // last writer
+  EXPECT_DOUBLE_EQ(a.min(), 0);
+  EXPECT_DOUBLE_EQ(a.max(), 42);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_DOUBLE_EQ(a.mean(), (10 + 0 + 2 + 42) / 4.0);
+  // (10*4 + 2*2) / (4 + 2): disjoint windows, each weighted by its span.
+  EXPECT_DOUBLE_EQ(a.tw_mean(), 44.0 / 6.0);
+  EXPECT_DOUBLE_EQ(a.tw_span(), 6.0);
+}
+
+TEST(Gauge, MergedGaugeDoesNotContinueTimedStream) {
+  Gauge a, b;
+  a.set_at(10, 0);
+  a.set_at(10, 4);
+  b.set_at(6, 0);
+  b.set_at(6, 2);
+  a.merge(b);
+  // A set_at() after the merge must not charge an interval spanning the
+  // two nodes' unrelated clocks: the first post-merge sample only
+  // re-establishes the time base.
+  a.set_at(100, 50);
+  EXPECT_DOUBLE_EQ(a.tw_span(), 6.0);
+  a.set_at(100, 51);
+  EXPECT_DOUBLE_EQ(a.tw_span(), 7.0);
+  EXPECT_DOUBLE_EQ(a.tw_mean(), (10 * 4 + 6 * 2 + 100 * 1) / 7.0);
+}
+
 TEST(Histogram, EmptyIsAllZero) {
   Histogram h;
   EXPECT_EQ(h.count(), 0u);
