@@ -10,12 +10,15 @@
 // collapses, and how much of the large-scale plateau is fabric
 // congestion rather than runtime overhead.  Emits BENCH_scale.json.
 //
-//   fig5_scale [--smoke] [--out FILE]
+//   fig5_scale [--smoke] [--out FILE] [--nodes N1,N2,...]
 //
 // --smoke shrinks the sweep (a small problem to 16 nodes) so CI can
 // validate the schema in seconds; smoke timing numbers are not data.
+// --nodes restricts the sweep to a subset of the node counts (partial
+// regeneration: rows for other counts are simply not produced).
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -118,24 +121,42 @@ void write_json(const std::string& path, bool smoke, int n, int nb,
 int main(int argc, char** argv) {
   bool smoke = false;
   std::string out = "BENCH_scale.json";
+  std::vector<int> only_nodes;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out = argv[++i];
+    } else if (std::strcmp(argv[i], "--nodes") == 0 && i + 1 < argc) {
+      for (const char* p = argv[++i]; *p != '\0';) {
+        char* end = nullptr;
+        const long v = std::strtol(p, &end, 10);
+        if (end == p || v <= 0) {
+          std::fprintf(stderr, "bad --nodes list: %s\n", argv[i]);
+          return 2;
+        }
+        only_nodes.push_back(static_cast<int>(v));
+        p = *end == ',' ? end + 1 : end;
+      }
     } else {
-      std::fprintf(stderr, "usage: %s [--smoke] [--out FILE]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--smoke] [--out FILE] [--nodes N1,N2,...]\n",
+                   argv[0]);
       return 2;
     }
   }
 
   // Fixed problem across all node counts — a true strong-scaling sweep.
-  // nb = 1500 keeps 240 tile-columns, so 512 and 1024 nodes run task-
-  // starved on purpose: that is the regime the sweep is probing.
+  // nb = 1500 keeps 240 tile-columns, so everything from 512 nodes up
+  // runs task-starved on purpose: that is the regime the sweep is
+  // probing, and at 2048/4096 nodes the task-per-node ratio drops below
+  // one tile-column per node — the far shoulder of the paper's fig 5.
   const int n = smoke ? 36000 : 360000;
   const int nb = smoke ? 3000 : 1500;
-  const std::vector<int> node_counts =
-      smoke ? std::vector<int>{8, 16} : std::vector<int>{32, 128, 512, 1024};
+  std::vector<int> node_counts =
+      smoke ? std::vector<int>{8, 16}
+            : std::vector<int>{32, 128, 512, 1024, 2048, 4096};
+  if (!only_nodes.empty()) node_counts = only_nodes;
 
   std::vector<RunResult> runs;
   bench::Table tts("fig5_scale: time-to-solution (s), N fixed",

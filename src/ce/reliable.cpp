@@ -96,9 +96,39 @@ ReliableChannel::ReliableChannel(ReliableDomain& domain, net::Fabric& fabric,
 
 ReliableChannel::~ReliableChannel() { cancel_timers(); }
 
+std::uint32_t ReliableChannel::slab_acquire() {
+  std::uint32_t slot = slab_free_;
+  if (slot != kNoSlot) {
+    slab_free_ = slab_next_free_[slot];
+    slab_hot_[slot] = UnackedHot{};
+  } else {
+    slot = static_cast<std::uint32_t>(slab_hot_.size());
+    slab_hot_.emplace_back();
+    slab_msg_.emplace_back();
+    slab_next_free_.push_back(kNoSlot);
+  }
+  return slot;
+}
+
+void ReliableChannel::slab_release(std::uint32_t slot) {
+  slab_msg_[slot] = net::Message{};  // drop the payload reference now
+  slab_next_free_[slot] = slab_free_;
+  slab_free_ = slot;
+}
+
+std::size_t ReliableChannel::window_find(const std::vector<SeqSlot>& w,
+                                         std::uint64_t seq) {
+  const auto it = std::lower_bound(
+      w.begin(), w.end(), seq,
+      [](const SeqSlot& e, std::uint64_t s) { return e.seq < s; });
+  if (it == w.end() || it->seq != seq) return SIZE_MAX;
+  return static_cast<std::size_t>(it - w.begin());
+}
+
 void ReliableChannel::cancel_timers() {
   for (auto& peer : unacked_) {
-    for (auto& [seq, u] : peer) {
+    for (const SeqSlot& e : peer) {
+      UnackedHot& u = slab_hot_[e.slot];
       if (u.timer.ev != des::kInvalidEvent) {
         eng_.cancel(u.timer);
         u.timer = {};
@@ -122,9 +152,11 @@ void ReliableChannel::peer_dead(net::NodeId peer) {
   // (recovery traffic) and mutate unacked_.
   std::vector<std::uint64_t> seqs;
   seqs.reserve(unacked_[i].size());
-  for (auto& [seq, u] : unacked_[i]) {
+  for (const SeqSlot& e : unacked_[i]) {
+    UnackedHot& u = slab_hot_[e.slot];
     if (u.timer.ev != des::kInvalidEvent) eng_.cancel(u.timer);
-    seqs.push_back(seq);
+    seqs.push_back(e.seq);
+    slab_release(e.slot);
   }
   unacked_[i].clear();
   domain_.stats_.peer_dead_fails += seqs.size();
@@ -188,13 +220,16 @@ void ReliableChannel::shim_send(net::Message&& m,
       fabric_.serialization_time(m.wire_bytes) +
       fabric_.serialization_time(cfg.ack_bytes) +
       2 * fabric_.latency(node_, m.dst);
-  Unacked u;
+  const std::uint32_t slot = slab_acquire();
+  UnackedHot& u = slab_hot_[slot];
   u.first_sent = now;
   u.rto = cfg.rto_initial + cfg.rtt_factor * round_trip + queue_wait;
   u.rto_cap = std::max(cfg.rto_max, 2 * u.rto);
-  u.msg = std::move(m);
-  const net::NodeId dst = u.msg.dst;
-  unacked_[peer].emplace(seq, std::move(u));
+  const net::NodeId dst = m.dst;
+  slab_msg_[slot] = std::move(m);
+  // seqs are handed out monotonically per peer, so the window stays
+  // sorted by construction.
+  unacked_[peer].push_back(SeqSlot{seq, slot});
 
   ++domain_.stats_.data_sent;
   if (domain_.rec_ != nullptr) domain_.rec_->counter("ce.rel.data").add();
@@ -205,17 +240,17 @@ void ReliableChannel::shim_send(net::Message&& m,
 void ReliableChannel::transmit(net::NodeId dst, std::uint64_t seq,
                                std::function<void()> on_sent) {
   auto& peer = unacked_[static_cast<std::size_t>(dst)];
-  const auto it = peer.find(seq);
-  assert(it != peer.end());
-  net::Message copy = it->second.msg;  // payload pointer shared, header POD
+  const std::size_t i = window_find(peer, seq);
+  assert(i != SIZE_MAX);
+  net::Message copy = slab_msg_[peer[i].slot];  // payload pointer shared
   fabric_.nic(node_).raw_send(std::move(copy), std::move(on_sent));
 }
 
 void ReliableChannel::arm_timer(net::NodeId dst, std::uint64_t seq) {
   auto& peer = unacked_[static_cast<std::size_t>(dst)];
-  const auto it = peer.find(seq);
-  assert(it != peer.end());
-  Unacked& u = it->second;
+  const std::size_t i = window_find(peer, seq);
+  assert(i != SIZE_MAX);
+  UnackedHot& u = slab_hot_[peer[i].slot];
   des::Duration delay = u.rto;
   const double j = domain_.cfg_.rto_jitter;
   if (j > 0) {
@@ -236,19 +271,20 @@ void ReliableChannel::arm_timer(net::NodeId dst, std::uint64_t seq) {
 
 void ReliableChannel::on_timer(net::NodeId dst, std::uint64_t seq) {
   auto& peer = unacked_[static_cast<std::size_t>(dst)];
-  const auto it = peer.find(seq);
-  if (it == peer.end()) return;  // ACKed between firing and dispatch
-  it->second.timer = {};
+  const std::size_t i = window_find(peer, seq);
+  if (i == SIZE_MAX) return;  // ACKed between firing and dispatch
+  slab_hot_[peer[i].slot].timer = {};
   expire(dst, seq);
 }
 
 void ReliableChannel::expire(net::NodeId dst, std::uint64_t seq) {
   auto& peer = unacked_[static_cast<std::size_t>(dst)];
-  const auto it = peer.find(seq);
-  assert(it != peer.end());
-  Unacked& u = it->second;
+  const std::size_t i = window_find(peer, seq);
+  assert(i != SIZE_MAX);
+  const std::uint32_t slot = peer[i].slot;
+  UnackedHot& u = slab_hot_[slot];
 
-  if (u.attempts - 1 >= domain_.cfg_.max_retries) {
+  if (static_cast<int>(u.attempts) - 1 >= domain_.cfg_.max_retries) {
     // Retry budget exhausted: give up recoverably.
     ++domain_.stats_.timeouts;
     obs::FlightRecorder::global().record(node_, obs::FlightKind::RelTimeout,
@@ -260,7 +296,8 @@ void ReliableChannel::expire(net::NodeId dst, std::uint64_t seq) {
     if (u.timer.ev != des::kInvalidEvent) eng_.cancel(u.timer);
     const DeliveryErrorCallback& cb = domain_.on_error_;
     const ReliableDomain::SuspicionHook& hook = domain_.on_suspect_;
-    peer.erase(it);
+    peer.erase(peer.begin() + static_cast<std::ptrdiff_t>(i));
+    slab_release(slot);
     // A burned retry budget is strong evidence the peer is down: always
     // feed the suspicion hook (the failure detector), whether or not an
     // error callback consumes the loss itself.
@@ -328,9 +365,10 @@ void ReliableChannel::send_control(net::NodeId dst, std::uint16_t kind,
 void ReliableChannel::on_control(const net::Message& m) {
   const auto peer = static_cast<std::size_t>(m.src);
   auto& outstanding = unacked_[peer];
-  const auto it = outstanding.find(m.hdr.imm[0]);
-  if (it == outstanding.end()) return;  // stale (already ACKed / timed out)
-  Unacked& u = it->second;
+  const std::size_t i = window_find(outstanding, m.hdr.imm[0]);
+  if (i == SIZE_MAX) return;  // stale (already ACKed / timed out)
+  const std::uint32_t slot = outstanding[i].slot;
+  UnackedHot& u = slab_hot_[slot];
 
   if (m.hdr.kind == kRelNack) {
     // The receiver saw this frame arrive corrupted: retransmit right away
@@ -349,7 +387,8 @@ void ReliableChannel::on_control(const net::Message& m) {
       domain_.rec_->histogram("ce.rel.retransmit_latency_ns").add(wait);
     }
   }
-  outstanding.erase(it);
+  outstanding.erase(outstanding.begin() + static_cast<std::ptrdiff_t>(i));
+  slab_release(slot);
 }
 
 bool ReliableChannel::note_received(net::NodeId src, std::uint64_t seq) {

@@ -26,7 +26,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
 #include <set>
 #include <vector>
@@ -111,20 +110,43 @@ class ReliableChannel final : public net::LinkShim {
   std::size_t unacked() const;
 
  private:
-  struct Unacked {
-    net::Message msg;            ///< retransmission copy (payload shared)
+  // Tracked-send state lives in a per-channel slab pool, SoA-split so
+  // the RTO/timer machinery (fired on every timeout, ACK, and NACK)
+  // walks a dense hot column and never drags the ~100-byte
+  // retransmission Message copies through the cache; those sit in a
+  // parallel cold column touched only when a frame actually goes back
+  // on the wire.  Slots are free-list recycled — the former
+  // std::map<seq, Unacked> cost a node allocation per tracked send,
+  // which at fig5 scale was the last per-message allocation left on the
+  // hot path.
+  static constexpr std::uint32_t kNoSlot = 0xFFFFFFFFu;
+  struct UnackedHot {
     des::Time first_sent = 0;
-    int attempts = 1;            ///< transmissions so far
+    std::uint32_t attempts = 1;  ///< transmissions so far
     des::Duration rto = 0;       ///< current timeout
     des::Duration rto_cap = 0;   ///< per-message cap (size-dependent)
     // RTO timer handle; lives on the owning node's DES shard so a
     // node's retransmission state stays in that node's event slab.
     des::ShardedEventQueue::Id timer;
   };
+  /// One entry of a peer's send window: the tracked seq and its slab
+  /// slot.  Windows stay sorted for free — seqs are assigned
+  /// monotonically per peer, so tracking is a push_back and lookup is a
+  /// binary search over a few in-flight entries.
+  struct SeqSlot {
+    std::uint64_t seq;
+    std::uint32_t slot;
+  };
   struct PeerRecv {
     std::uint64_t cum = 0;            ///< all seq <= cum seen
     std::set<std::uint64_t> ahead;    ///< out-of-order seqs > cum
   };
+
+  std::uint32_t slab_acquire();
+  void slab_release(std::uint32_t slot);
+  /// Index of `seq` in a peer's window, or SIZE_MAX when not tracked.
+  static std::size_t window_find(const std::vector<SeqSlot>& w,
+                                 std::uint64_t seq);
 
   void transmit(net::NodeId dst, std::uint64_t seq,
                 std::function<void()> on_sent);
@@ -144,7 +166,11 @@ class ReliableChannel final : public net::LinkShim {
   net::NodeId node_;
   des::Rng rng_;
   std::vector<std::uint64_t> next_seq_;              ///< per peer
-  std::vector<std::map<std::uint64_t, Unacked>> unacked_;  ///< per peer
+  std::vector<std::vector<SeqSlot>> unacked_;        ///< per peer, seq-sorted
+  std::vector<UnackedHot> slab_hot_;         ///< RTO/timer column
+  std::vector<net::Message> slab_msg_;       ///< retransmission-copy column
+  std::vector<std::uint32_t> slab_next_free_;
+  std::uint32_t slab_free_ = kNoSlot;
   std::vector<PeerRecv> recv_;                       ///< per peer
   std::vector<bool> peer_dead_;                      ///< fast-fail sends
   std::vector<bool> err_logged_;  ///< once-per-peer unhandled-error log

@@ -1,24 +1,46 @@
-// Cancellable time-ordered event queue — generation-tagged slot slab.
+// Cancellable time-ordered event queue — calendar/timing-wheel hybrid
+// over a generation-tagged slot slab.
 //
-// Events with equal timestamps fire in insertion order (FIFO), which the
-// rest of the simulator relies on for determinism.  Callbacks live inline
-// in a slab of reusable slots (free-list recycled, generation-tagged so a
-// stale EventId can never touch a reused slot), so the steady-state
-// schedule/pop cycle performs zero heap allocations: no per-event
-// unordered_map node, no std::function cell.
+// DES timestamps cluster at wire-latency offsets from "now" (tens of
+// nanoseconds to a few microseconds), so a comparison-based heap pays
+// O(log n) per operation to maintain a total order the workload barely
+// exercises.  This queue instead keeps a *calendar* of kWheelSize
+// fixed-width buckets covering the near future:
+//
+//   * schedule(t) with t inside the wheel window is an O(1) push into the
+//     bucket covering t (buckets other than the current one stay
+//     unsorted);
+//   * schedule(t) with t at or past the window end goes to a far-future
+//     overflow tier (a small 4-ary min-heap ordered by (time, seq));
+//   * pop() consumes the *current* bucket through a cursor.  A bucket is
+//     sorted by (time, seq) once, the moment it becomes current — by
+//     then it has received all its entries except same-window
+//     stragglers, which insert sorted into the unconsumed tail;
+//   * when the current bucket drains, the wheel advances directly to the
+//     next occupied bucket (an occupancy bitmap makes the skip O(1)),
+//     and overflow entries whose time has rotated into the window are
+//     re-spilled into their buckets;
+//   * when the wheel itself drains, it re-anchors at the overflow front,
+//     so arbitrarily sparse schedules cost no empty-bucket scanning.
+//
+// Pop order is exactly the (time, seq) total order the PR-4 heap
+// produced — see DESIGN.md for the ordering argument — and the external
+// contract is unchanged: events with equal timestamps fire in insertion
+// order (FIFO), callbacks live inline in a slab of reusable
+// generation-tagged slots, and the steady-state schedule/pop cycle
+// performs zero heap allocations.
 //
 // Cancellation is O(1) amortized via tombstoning: a cancelled (or
-// rescheduled) event's heap entry stays behind and is skipped when it
-// surfaces.  Tombstones are swept — and the heap rebuilt, preserving the
-// (time, seq) total order exactly — whenever dead entries outnumber live
-// ones; the sweep is triggered from schedule(), cancel(), AND pop(), so
-// any operation mix (not just cancel storms) keeps heap_size() within a
-// constant factor of size().  Each O(heap) sweep removes >= heap/2 dead
-// entries, each of which took at least one O(log n) operation to create,
-// so the sweep cost amortizes to O(1) per operation.
+// rescheduled) event's entry stays behind and is skipped when the cursor
+// reaches it.  Tombstones are swept — order preserved — whenever dead
+// entries outnumber live ones; the sweep is triggered from schedule(),
+// cancel(), AND pop(), so any operation mix keeps heap_size() within a
+// constant factor of size().  Each O(entries) sweep removes >= half the
+// entries, each of which took at least one O(1) operation to create, so
+// the sweep cost amortizes to O(1) per operation.
 //
 // reschedule() moves a pending event to a new time in place: the callback
-// stays in its slot, the old heap entry becomes a tombstone, and the event
+// stays in its slot, the old entry becomes a tombstone, and the event
 // behaves exactly as if it had been cancelled and re-scheduled at the new
 // time (fresh FIFO seq) — minus the callback teardown and slot churn.
 #pragma once
@@ -82,15 +104,24 @@ class EventQueue {
   /// Cancels every pending event at once (fail-stop node crash: the
   /// node's whole shard dies).  All outstanding EventIds go stale and
   /// callbacks are destroyed without firing.  Returns the number of
-  /// events cancelled.  Cold path: O(slab), not amortized.
+  /// events cancelled.  Cold path: O(slab + buckets), not amortized.
   std::size_t cancel_all();
+
+  /// Pre-sizes internal storage — slab, overflow tier, and every wheel
+  /// bucket — so a steady-state workload of up to `events` concurrent
+  /// events performs no allocations from the first operation on.  Cold
+  /// path for benchmarks and long-lived engines; never required for
+  /// correctness (storage also grows on demand).
+  void reserve(std::size_t events);
 
   bool empty() const { return live_count_ == 0; }
   std::size_t size() const { return live_count_; }
 
-  /// Heap entries including tombstones (for tests: compaction keeps this
-  /// within a constant factor of size()).
-  std::size_t heap_size() const { return heap_.size(); }
+  /// Pending entries including tombstones, over all tiers (for tests:
+  /// compaction keeps this within a constant factor of size()).
+  std::size_t heap_size() const {
+    return wheel_entries_ + overflow_.size() + stage_.size();
+  }
 
   /// Slots in the slab, live or free (for tests: bounded by peak live
   /// events, not by total events ever scheduled).
@@ -104,10 +135,10 @@ class EventQueue {
   /// event was scheduled under (external when schedule_seq was used), so
   /// ShardedEventQueue can compare fronts across shards exactly.
   AMTLCE_DES_HOT_INLINE bool peek_front(Time& t, std::uint64_t& seq) {
-    drop_dead_front();
-    if (heap_.empty()) return false;
-    t = heap_.front().time;
-    seq = heap_.front().key >> kSlotBits;
+    if (!ensure_front()) return false;
+    const Entry& e = wheel_[cur_][cur_pos_];
+    t = e.time;
+    seq = e.key >> kSlotBits;
     return true;
   }
 
@@ -125,21 +156,22 @@ class EventQueue {
   struct Slot {
     Callback fn;
     Time time = 0;            ///< currently scheduled fire time
-    std::uint64_t heap_key = 0;  ///< key of the slot's live heap entry
+    std::uint64_t heap_key = 0;  ///< key of the slot's live queue entry
     std::uint32_t gen = 0;    ///< bumped on release; part of the EventId
     std::uint32_t next_free = kNoFree;
     bool live = false;
   };
 
-  /// Heap entries are 16 bytes so a full 4-ary node (4 children) spans a
-  /// single cache line.  `key` packs the FIFO sequence number into the
-  /// high 40 bits and the slot index into the low 24: comparing keys
-  /// orders by seq (seq is globally unique, so the slot bits never
-  /// decide), and the seq doubles as the liveness token — a heap entry is
-  /// live iff its key still equals its slot's heap_key.  Limits: 2^24
-  /// (16.7M) concurrent events, 2^40 (1.1e12) schedules per queue
-  /// lifetime; both are orders of magnitude beyond any simulation here
-  /// (the slot limit is asserted on slab growth, a cold path).
+  /// Entries are 16 bytes so four of them span a single cache line (the
+  /// overflow tier is a 4-ary heap; bucket scans are linear).  `key`
+  /// packs the FIFO sequence number into the high 40 bits and the slot
+  /// index into the low 24: comparing keys orders by seq (seq is globally
+  /// unique, so the slot bits never decide), and the seq doubles as the
+  /// liveness token — an entry is live iff its key still equals its
+  /// slot's heap_key.  Limits: 2^24 (16.7M) concurrent events, 2^40
+  /// (1.1e12) schedules per queue lifetime; both are orders of magnitude
+  /// beyond any simulation here (the slot limit is asserted on slab
+  /// growth, a cold path).
   static constexpr std::uint64_t kSlotBits = 24;
   static constexpr std::uint64_t kSlotMask = (1ull << kSlotBits) - 1;
 
@@ -151,7 +183,34 @@ class EventQueue {
       return key > o.key;  // high bits are the FIFO seq
     }
   };
-  static_assert(sizeof(Entry) == 16, "4 children must fit one cache line");
+  static_assert(sizeof(Entry) == 16, "4 entries must fit one cache line");
+
+  static AMTLCE_DES_HOT_INLINE bool entry_less(const Entry& a,
+                                               const Entry& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.key < b.key;
+  }
+
+  // ---- Wheel geometry -------------------------------------------------
+  //
+  // kBucketWidth is 1024 ns: the dominant inter-event gaps in this
+  // simulator are NIC/link latencies (tens to hundreds of ns) and
+  // software overheads (~1 us), so a ~1 us bucket keeps same-bucket
+  // sorts short while still absorbing the bulk of traffic; RTO timers
+  // and end-of-phase barriers (tens of us and up) ride the overflow
+  // tier and re-spill as the window rotates.  kWheelSize = 256 buckets
+  // cover a 262 us window — wide enough that steady-state traffic
+  // almost never touches overflow — and cost 6 KB of headers per
+  // queue, which matters because ShardedEventQueue instantiates one
+  // queue per node shard (the wheel itself is allocated on first use,
+  // so idle shards stay tiny).
+  static constexpr std::uint32_t kWheelBits = 8;
+  static constexpr std::uint32_t kWheelSize = 1u << kWheelBits;
+  static constexpr std::uint32_t kWheelMask = kWheelSize - 1;
+  static constexpr std::uint32_t kBucketShift = 10;
+  static constexpr Time kBucketWidth = Time{1} << kBucketShift;
+  static constexpr Time kWheelSpan = Time{kWheelSize} << kBucketShift;
+  static constexpr std::uint32_t kOccWords = kWheelSize / 64;
 
   static std::uint32_t slot_of(EventId id) {
     return static_cast<std::uint32_t>(id & 0xFFFFFFFFu) - 1;
@@ -164,6 +223,25 @@ class EventQueue {
            (static_cast<EventId>(slot) + 1);
   }
 
+  /// a + b clamped to kTimeNever (window bounds must not wrap when the
+  /// wheel anchors near the end of the time axis).
+  static Time sat_add(Time a, Time b) {
+    return a >= kTimeNever - b ? kTimeNever : a + b;
+  }
+
+  std::uint32_t bucket_of(Time t) const {
+    return static_cast<std::uint32_t>(
+               static_cast<std::uint64_t>(t) >> kBucketShift) &
+           kWheelMask;
+  }
+
+  AMTLCE_DES_HOT_INLINE void set_occ(std::uint32_t b) {
+    occ_[b >> 6] |= 1ull << (b & 63u);
+  }
+  AMTLCE_DES_HOT_INLINE void clear_occ(std::uint32_t b) {
+    occ_[b >> 6] &= ~(1ull << (b & 63u));
+  }
+
   /// The slot behind `id`, or null when the id is invalid, stale, or the
   /// event already fired / was cancelled.
   AMTLCE_DES_HOT_INLINE Slot* live_slot(EventId id) {
@@ -174,10 +252,10 @@ class EventQueue {
     return &s;
   }
 
-  /// True when a heap entry still represents its slot's scheduled state
-  /// (not a cancel/reschedule tombstone).  The key's seq bits are unique
-  /// per schedule/reschedule, so key equality alone proves the entry is
-  /// the slot's current tenant.
+  /// True when an entry still represents its slot's scheduled state (not
+  /// a cancel/reschedule tombstone).  The key's seq bits are unique per
+  /// schedule/reschedule, so key equality alone proves the entry is the
+  /// slot's current tenant.
   AMTLCE_DES_HOT_INLINE bool entry_live(const Entry& e) const {
     const Slot& s = slots_[e.key & kSlotMask];
     return s.live && s.heap_key == e.key;
@@ -194,45 +272,140 @@ class EventQueue {
     free_head_ = idx;
   }
 
-  AMTLCE_DES_HOT_INLINE void drop_dead_front() {
-    while (!heap_.empty() && !entry_live(heap_.front())) {
-      heap_pop_front();
+  /// Routes a fresh entry to its tier: current bucket (sorted insert into
+  /// the unconsumed tail — also the path for times at or before the
+  /// current window, so a past-time schedule still pops first), a future
+  /// bucket (unsorted append), or the far-future stage (an unsorted tail
+  /// heapified in bulk the next time the overflow tier is read — far
+  /// inserts are O(1), and a schedule-soon-cancelled never pays a sift).
+  AMTLCE_DES_HOT_INLINE void insert_entry(Time t, std::uint64_t key) {
+    if (t >= wheel_end_) {
+      stage_.push_back(Entry{t, key});
+      return;
+    }
+    if (wheel_.empty()) wheel_.resize(kWheelSize);
+    ++wheel_entries_;
+    if (t < cur_end_) {
+      std::vector<Entry>& b = wheel_[cur_];
+      const Entry e{t, key};
+      if (b.size() == cur_pos_ || !entry_less(e, b.back())) {
+        // Hot case: a fresh seq at a time >= the tail's back lands last.
+        b.push_back(e);
+      } else {
+        b.insert(std::lower_bound(b.begin() +
+                                      static_cast<std::ptrdiff_t>(cur_pos_),
+                                  b.end(), e, &EventQueue::entry_less),
+                 e);
+      }
+      set_occ(cur_);
+    } else {
+      const std::uint32_t bi = bucket_of(t);
+      wheel_[bi].push_back(Entry{t, key});
+      set_occ(bi);
     }
   }
 
-  /// Sweeps tombstones when dead entries exceed half the heap (live <
-  /// dead).  Called from schedule/cancel/pop/reschedule alike, so the
-  /// heap-size bound holds for every operation mix and each O(heap) sweep
-  /// amortizes to O(1) per operation.  The threshold check is inline (hot
-  /// path); the sweep itself is out of line.
-  AMTLCE_DES_HOT_INLINE void maybe_compact() {
-    if (heap_.size() < kCompactMinHeap || heap_.size() <= 2 * live_count_) {
-      return;
+  /// Positions the cursor on the earliest live entry, consuming
+  /// tombstones, advancing the wheel over drained buckets, and
+  /// re-anchoring at the overflow front when the wheel itself drains.
+  /// Returns false when no live events remain.  After a true return the
+  /// front entry is wheel_[cur_][cur_pos_].
+  AMTLCE_DES_HOT_INLINE bool ensure_front() {
+    for (;;) {
+      if (wheel_entries_ > 0) {
+        std::vector<Entry>& b = wheel_[cur_];
+        while (cur_pos_ < b.size()) {
+          if (entry_live(b[cur_pos_])) return true;
+          ++cur_pos_;  // tombstone: consumed in place
+          --wheel_entries_;
+        }
+        b.clear();
+        cur_pos_ = 0;
+        clear_occ(cur_);
+        if (wheel_entries_ > 0) {
+          advance();
+          continue;
+        }
+      }
+      if (!stage_.empty()) {
+        flush_stage();  // may feed the wheel or the heap; re-examine both
+        continue;
+      }
+      if (overflow_.empty()) return false;
+      if (!entry_live(overflow_.front())) {
+        overflow_pop_front();
+        continue;
+      }
+      re_anchor(overflow_.front().time);
     }
+  }
+
+  /// Sweeps tombstones when dead entries exceed half of all pending
+  /// entries (live < dead).  Called from schedule/cancel/pop/reschedule
+  /// alike, so the entry-count bound holds for every operation mix and
+  /// each O(entries) sweep amortizes to O(1) per operation.  The
+  /// threshold check is inline (hot path); the sweep itself is out of
+  /// line.
+  AMTLCE_DES_HOT_INLINE void maybe_compact() {
+    const std::size_t n = wheel_entries_ + overflow_.size() + stage_.size();
+    if (n < kCompactMinEntries || n <= 2 * live_count_) return;
     compact();
   }
   void compact();
 
-  // 4-ary min-heap on (time, seq): half the depth of a binary heap and
-  // sibling entries share cache lines, which matters on the pop-heavy DES
-  // loop.  Arity changes nothing about pop order.
+  /// Physically removes a live slot's queue entry when it is cheap to
+  /// find — the tail of the stage or of its wheel bucket — so a
+  /// schedule-soon-cancelled event leaves no tombstone at all.  Falls
+  /// back to the tombstone protocol otherwise.  Keys embed a globally
+  /// unique seq, so a tail key match proves identity, and a live entry
+  /// can never sit inside the current bucket's consumed prefix.  Tier
+  /// dispatch is exact: at rest every far-tier entry has
+  /// time >= wheel_end_ (spill/flush run on every window move) and every
+  /// wheel entry sits in bucket_of(its time), which depends on the time
+  /// alone.
+  AMTLCE_DES_HOT_INLINE void remove_or_tombstone(const Slot& s) {
+    if (s.time >= wheel_end_) {
+      if (!stage_.empty() && stage_.back().key == s.heap_key) {
+        stage_.pop_back();
+      }
+      return;
+    }
+    std::vector<Entry>& b = wheel_[bucket_of(s.time)];
+    if (!b.empty() && b.back().key == s.heap_key) {
+      b.pop_back();
+      --wheel_entries_;
+    }
+  }
+
+  // Cold wheel maintenance (out of line; see event_queue.cpp).
+  void advance();
+  void re_anchor(Time t0);
+  void spill_overflow();
+  void flush_stage();
+  void begin_bucket();
+  std::uint32_t next_occupied() const;
+
+  // ---- Overflow tier: 4-ary min-heap on (time, seq).  Far-future
+  // entries only (RTO timers, phase barriers), so it stays small; 4-ary
+  // halves the depth of a binary heap and sibling entries share cache
+  // lines.
   static constexpr std::size_t kHeapArity = 4;
-  static constexpr std::size_t kCompactMinHeap = 64;
+  static constexpr std::size_t kCompactMinEntries = 64;
 
   AMTLCE_DES_HOT_INLINE void sift_up(std::size_t i) {
-    const Entry e = heap_[i];
+    const Entry e = overflow_[i];
     while (i > 0) {
       const std::size_t parent = (i - 1) / kHeapArity;
-      if (!(heap_[parent] > e)) break;
-      heap_[i] = heap_[parent];
+      if (!(overflow_[parent] > e)) break;
+      overflow_[i] = overflow_[parent];
       i = parent;
     }
-    heap_[i] = e;
+    overflow_[i] = e;
   }
 
   AMTLCE_DES_HOT_INLINE void sift_down(std::size_t i) {
-    const Entry e = heap_[i];
-    const std::size_t n = heap_.size();
+    const Entry e = overflow_[i];
+    const std::size_t n = overflow_.size();
     for (;;) {
       const std::size_t first = kHeapArity * i + 1;
       if (first >= n) break;
@@ -240,35 +413,46 @@ class EventQueue {
       if (first + kHeapArity <= n) {
         // Full node — constant trip count, which the compiler unrolls.
         for (std::size_t c = first + 1; c < first + kHeapArity; ++c) {
-          if (heap_[best] > heap_[c]) best = c;
+          if (overflow_[best] > overflow_[c]) best = c;
         }
       } else {
         for (std::size_t c = first + 1; c < n; ++c) {
-          if (heap_[best] > heap_[c]) best = c;
+          if (overflow_[best] > overflow_[c]) best = c;
         }
       }
-      if (!(e > heap_[best])) break;
-      heap_[i] = heap_[best];
+      if (!(e > overflow_[best])) break;
+      overflow_[i] = overflow_[best];
       i = best;
     }
-    heap_[i] = e;
+    overflow_[i] = e;
   }
 
-  AMTLCE_DES_HOT_INLINE void heap_push(const Entry& e) {
-    heap_.push_back(e);
-    sift_up(heap_.size() - 1);
+  AMTLCE_DES_HOT_INLINE void overflow_push(const Entry& e) {
+    overflow_.push_back(e);
+    sift_up(overflow_.size() - 1);
   }
 
-  AMTLCE_DES_HOT_INLINE void heap_pop_front() {
-    heap_.front() = heap_.back();
-    heap_.pop_back();
-    if (!heap_.empty()) sift_down(0);
+  AMTLCE_DES_HOT_INLINE void overflow_pop_front() {
+    overflow_.front() = overflow_.back();
+    overflow_.pop_back();
+    if (!overflow_.empty()) sift_down(0);
   }
 
-  void heap_rebuild();
+  void overflow_rebuild();
 
-  std::vector<Entry> heap_;  // 4-ary min-heap, see kHeapArity
-  std::vector<Slot> slots_;  // the slab; EventIds index into it
+  // ---- Calendar state -------------------------------------------------
+  std::vector<std::vector<Entry>> wheel_;  ///< kWheelSize buckets; lazy
+  std::uint64_t occ_[kOccWords] = {};      ///< bucket-nonempty bitmap
+  std::uint32_t cur_ = 0;       ///< current bucket index
+  std::size_t cur_pos_ = 0;     ///< cursor into wheel_[cur_] (consumed prefix)
+  Time wheel_base_ = 0;         ///< current bucket's window start (aligned)
+  Time cur_end_ = kBucketWidth;    ///< wheel_base_ + kBucketWidth, saturated
+  Time wheel_end_ = kWheelSpan;    ///< wheel_base_ + kWheelSpan, saturated
+  std::size_t wheel_entries_ = 0;  ///< unconsumed entries across buckets
+
+  std::vector<Entry> overflow_;  ///< far-future tier, 4-ary min-heap
+  std::vector<Entry> stage_;     ///< far-future arrivals not yet heapified
+  std::vector<Slot> slots_;      ///< the slab; EventIds index into it
   std::uint32_t free_head_ = kNoFree;
   std::uint64_t next_seq_ = 0;
   std::size_t live_count_ = 0;
@@ -276,8 +460,8 @@ class EventQueue {
 
 template <typename F>
 EventId EventQueue::schedule(Time t, F&& fn) {
-  // No overflow guard on the 40-bit seq: at simulator rates (~3e7
-  // events/sec) it would take >10 wall-clock hours to exhaust, orders of
+  // No overflow guard on the 40-bit seq: at simulator rates (~1e8
+  // events/sec) it would take >3 wall-clock hours to exhaust, orders of
   // magnitude past any run here, and the check would tax every schedule.
   return schedule_seq(t, next_seq_++, std::forward<F>(fn));
 }
@@ -299,7 +483,7 @@ EventId EventQueue::schedule_seq(Time t, std::uint64_t seq, F&& fn) {
   const std::uint64_t key = (seq << kSlotBits) | idx;
   s.heap_key = key;
   s.live = true;
-  heap_push(Entry{t, key});
+  insert_entry(t, key);
   ++live_count_;
   maybe_compact();
   return make_id(idx, s.gen);
@@ -308,7 +492,8 @@ EventId EventQueue::schedule_seq(Time t, std::uint64_t seq, F&& fn) {
 inline bool EventQueue::cancel(EventId id) {
   Slot* const s = live_slot(id);
   if (s == nullptr) return false;
-  release(slot_of(id));  // the heap entry becomes a tombstone
+  remove_or_tombstone(*s);  // physical removal when cheap, else tombstone
+  release(slot_of(id));
   --live_count_;
   maybe_compact();
   return true;
@@ -322,26 +507,30 @@ inline bool EventQueue::reschedule_seq(EventId id, Time t,
                                        std::uint64_t seq) {
   Slot* const s = live_slot(id);
   if (s == nullptr) return false;
-  // The old heap entry goes stale (key mismatch); push a fresh one.  The
-  // event takes a new FIFO position, exactly as cancel + schedule would.
+  // The old entry is removed in place when cheap, else goes stale (key
+  // mismatch); a fresh one is inserted.  The event takes a new FIFO
+  // position, exactly as cancel + schedule would.
+  remove_or_tombstone(*s);
   s->time = t;
   const std::uint64_t key = (seq << kSlotBits) | slot_of(id);
   s->heap_key = key;
-  heap_push(Entry{t, key});
+  insert_entry(t, key);
   maybe_compact();
   return true;
 }
 
 inline Time EventQueue::next_time() {
-  drop_dead_front();
-  return heap_.empty() ? kTimeNever : heap_.front().time;
+  if (!ensure_front()) return kTimeNever;
+  return wheel_[cur_][cur_pos_].time;
 }
 
 inline EventQueue::Fired EventQueue::pop() {
-  drop_dead_front();
-  assert(!heap_.empty() && "pop() on empty EventQueue");
-  const Entry e = heap_.front();
-  heap_pop_front();
+  const bool has = ensure_front();
+  assert(has && "pop() on empty EventQueue");
+  (void)has;
+  const Entry e = wheel_[cur_][cur_pos_];
+  ++cur_pos_;
+  --wheel_entries_;
   const auto idx = static_cast<std::uint32_t>(e.key & kSlotMask);
   Slot& s = slots_[idx];
   Fired fired{e.time, make_id(idx, s.gen), std::move(s.fn)};

@@ -1,0 +1,33 @@
+#include "des/heap_slab_queue.hpp"
+
+#include <algorithm>
+
+namespace des {
+
+// Cold paths of the preserved PR-4 reference queue (see header).
+
+void HeapSlabQueue::compact() {
+  std::erase_if(heap_, [this](const Entry& e) { return !entry_live(e); });
+  heap_rebuild();
+}
+
+std::size_t HeapSlabQueue::cancel_all() {
+  std::size_t n = 0;
+  for (std::uint32_t idx = 0; idx < slots_.size(); ++idx) {
+    if (!slots_[idx].live) continue;
+    release(idx);
+    ++n;
+  }
+  heap_.clear();
+  live_count_ = 0;
+  return n;
+}
+
+void HeapSlabQueue::heap_rebuild() {
+  if (heap_.size() < 2) return;
+  for (std::size_t i = (heap_.size() - 2) / kHeapArity + 1; i-- > 0;) {
+    sift_down(i);
+  }
+}
+
+}  // namespace des

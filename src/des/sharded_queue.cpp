@@ -12,21 +12,24 @@ void ShardedEventQueue::grow_to(std::size_t n) {
   multi_ = shards_.size() > 1;
   if (!was_multi && multi_) {
     fronts_.clear();
+    cache_valid_ = false;
     for (std::uint32_t s = 0; s < shards_.size(); ++s) {
       reseed_front(s);
     }
   }
 }
 
-// Pushes `shard`'s current front as a candidate after any operation that
-// may have changed it (pop, cancel, reschedule).  Duplicates are fine —
-// the older candidate goes stale and skim() discards it; an empty shard
-// contributes nothing.
+// Records `shard`'s current front as a candidate after any operation
+// that may have changed it (pop, cancel, reschedule).  Duplicates are
+// fine — the older candidate goes stale and skim() discards it.  An
+// empty shard contributes nothing and releases its cache entry, if any.
 void ShardedEventQueue::reseed_front(std::uint32_t shard) {
   Time t;
   std::uint64_t seq;
   if (shards_[shard].peek_front(t, seq)) {
-    front_push(FrontEntry{t, seq, shard});
+    put_candidate(FrontEntry{t, seq, shard});
+  } else if (cache_valid_ && cache_.shard == shard) {
+    cache_valid_ = false;
   }
 }
 

@@ -263,27 +263,28 @@ void Fabric::set_recorder(obs::Recorder* rec) {
   h_fault_delay_ = rec ? &rec->histogram("net.fault.delay_ns") : nullptr;
 }
 
-Delivery* Fabric::acquire_delivery(Nic& dst, Message&& m) {
-  // Per-destination slab: the record lives with the node that will
-  // consume it, alongside that node's event-queue shard.
-  Delivery* d = dst.delivery_free_;
-  if (d != nullptr) {
-    dst.delivery_free_ = d->next_free;
+std::uint32_t Fabric::acquire_delivery(Nic& dst, Message&& m) {
+  // Per-destination pool: the slot lives with the node that will consume
+  // it, alongside that node's event-queue shard (see Nic for the SoA
+  // layout).
+  std::uint32_t slot = dst.delivery_free_;
+  if (slot != Nic::kNoDelivery) {
+    dst.delivery_free_ = dst.delivery_next_free_[slot];
   } else {
-    dst.delivery_arena_.push_back(std::make_unique<Delivery>());
-    d = dst.delivery_arena_.back().get();
+    slot = static_cast<std::uint32_t>(dst.delivery_slots_.size());
+    dst.delivery_slots_.emplace_back();
+    dst.delivery_next_free_.push_back(Nic::kNoDelivery);
   }
-  d->msg = std::move(m);
-  d->dst = &dst;
-  return d;
+  dst.delivery_slots_[slot] = std::move(m);
+  return slot;
 }
 
-void Fabric::deliver_and_release(Delivery* d) {
-  Nic* const dst = d->dst;
-  Message msg = std::move(d->msg);  // leaves the record's payload ref null
-  d->next_free = dst->delivery_free_;
-  dst->delivery_free_ = d;  // recycled before dispatch: nested sends reuse it
-  dst->dispatch(std::move(msg));
+void Fabric::deliver_and_release(Nic& dst, std::uint32_t slot) {
+  Message msg = std::move(dst.delivery_slots_[slot]);  // slot's payload ref
+                                                       // is null afterwards
+  dst.delivery_next_free_[slot] = dst.delivery_free_;
+  dst.delivery_free_ = slot;  // recycled before dispatch: nested sends reuse it
+  dst.dispatch(std::move(msg));
 }
 
 Fabric::FaultPlan Fabric::plan_faults() {
@@ -358,8 +359,11 @@ void Fabric::do_send(Nic& src, Message m, Nic::SentHandler on_sent) {
       eng_.schedule_on(shard_of(m.src), sent, std::move(on_sent));
     }
     const auto dst_shard = shard_of(m.dst);
-    Delivery* const d = acquire_delivery(dst, std::move(m));
-    eng_.schedule_on(dst_shard, done, [this, d]() { deliver_and_release(d); });
+    Nic* const dstp = &dst;
+    const std::uint32_t slot = acquire_delivery(dst, std::move(m));
+    eng_.schedule_on(dst_shard, done, [this, dstp, slot]() {
+      deliver_and_release(*dstp, slot);
+    });
     return;
   }
 
@@ -545,9 +549,11 @@ void Fabric::do_send(Nic& src, Message m, Nic::SentHandler on_sent) {
   }
 
   const auto dst_shard = shard_of(m.dst);
-  Delivery* const d = acquire_delivery(dst, std::move(m));
-  eng_.schedule_on(dst_shard, ingress_end,
-                   [this, d]() { deliver_and_release(d); });
+  Nic* const dstp = &dst;
+  const std::uint32_t slot = acquire_delivery(dst, std::move(m));
+  eng_.schedule_on(dst_shard, ingress_end, [this, dstp, slot]() {
+    deliver_and_release(*dstp, slot);
+  });
 
   if (dup.has_value()) {
     // The duplicate trails the original through the same ingress pipe, so
@@ -570,9 +576,10 @@ void Fabric::do_send(Nic& src, Message m, Nic::SentHandler on_sent) {
       std::snprintf(track, sizeof track, "nic%d.ingress", dup->dst);
       sink->span(track, label, ingress_end, dup_end - ingress_end);
     }
-    Delivery* const dd = acquire_delivery(dst, std::move(*dup));
-    eng_.schedule_on(dst_shard, dup_end,
-                     [this, dd]() { deliver_and_release(dd); });
+    const std::uint32_t dslot = acquire_delivery(dst, std::move(*dup));
+    eng_.schedule_on(dst_shard, dup_end, [this, dstp, dslot]() {
+      deliver_and_release(*dstp, dslot);
+    });
   }
 }
 

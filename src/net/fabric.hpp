@@ -60,19 +60,6 @@ struct FaultStats {
 class Fabric;
 class Nic;
 
-/// In-flight delivery record: a message parks here between schedule and
-/// dispatch so the event closure captures two pointers (always inline in
-/// des::InplaceCallback) instead of a whole Message.  Records are
-/// free-list recycled and live in the DESTINATION NIC's slab (see
-/// Nic::delivery_arena_) — per-node state stays per-node, matching the
-/// sharded event queue's slab-per-node layout, and steady-state
-/// allocation per message is zero.
-struct Delivery {
-  Message msg;
-  Nic* dst = nullptr;
-  Delivery* next_free = nullptr;
-};
-
 /// Bump-in-the-wire interposer between the upper communication libraries
 /// and the raw NIC pipes.  ce::ReliableChannel implements this to add
 /// sequence numbers / checksums / retransmission below mmpi and mlci
@@ -137,11 +124,19 @@ class Nic {
   NicStats stats_;
   des::Time egress_free_ = 0;
   des::Time ingress_free_ = 0;
-  // This node's delivery-record slab (see net::Delivery): incoming
-  // messages park here, so the hot receive path touches only memory
-  // owned by the destination node.
-  std::vector<std::unique_ptr<Delivery>> delivery_arena_;
-  Delivery* delivery_free_ = nullptr;
+  // This node's in-flight delivery pool: an incoming message parks in a
+  // slot between schedule and dispatch, so the event closure captures
+  // (Nic*, slot index) — always inline in des::InplaceCallback — instead
+  // of a whole Message.  SoA index pool rather than a vector of
+  // heap-allocated records: the Message slots sit contiguously in ONE
+  // allocation per node (two cache-resident vectors instead of a pointer
+  // chase per message), indices stay stable across growth, and the free
+  // list is a parallel index column.  Slots are recycled free-list-first,
+  // so steady-state allocation per message is zero.
+  static constexpr std::uint32_t kNoDelivery = 0xFFFFFFFFu;
+  std::vector<Message> delivery_slots_;
+  std::vector<std::uint32_t> delivery_next_free_;
+  std::uint32_t delivery_free_ = kNoDelivery;
 };
 
 class Fabric {
@@ -231,8 +226,8 @@ class Fabric {
  private:
   friend class Nic;
 
-  Delivery* acquire_delivery(Nic& dst, Message&& m);
-  void deliver_and_release(Delivery* d);
+  std::uint32_t acquire_delivery(Nic& dst, Message&& m);
+  void deliver_and_release(Nic& dst, std::uint32_t slot);
 
   void do_send(Nic& src, Message m, Nic::SentHandler on_sent);
 

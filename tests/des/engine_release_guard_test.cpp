@@ -1,0 +1,88 @@
+// Release-build scheduling-guard regression test.
+//
+// The engine's past-time guard used to be assert-only: correct in every
+// build this project ships (CMakeLists strips -DNDEBUG so Release keeps
+// assertions), but UNDEFINED BEHAVIOR the day someone compiles the
+// header into an embedding project with NDEBUG — the hybrid queue's
+// bucket cursor assumes monotone pops, so a past-time schedule that
+// slips through silently corrupts firing order.  Engine::guard_time now
+// fails CLOSED under NDEBUG: the request is clamped to now(), counted in
+// past_schedules_clamped(), and the event fires immediately after the
+// current one — deterministic, order-preserving, observable.
+//
+// This TU is the regression proof: it is compiled with NDEBUG force-
+// defined (see tests/des/CMakeLists.txt) and linked as its own binary so
+// no assert-enabled TU in the same image can supply competing inline
+// definitions of the engine.  The engine is header-only, so the NDEBUG
+// definition here is the one that governs guard_time.
+#ifndef NDEBUG
+#error "this test must be compiled with NDEBUG (see tests/des/CMakeLists.txt)"
+#endif
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "des/engine.hpp"
+
+namespace {
+
+TEST(EngineReleaseGuard, PastScheduleClampsAndCounts) {
+  des::Engine eng;
+  std::vector<int> order;
+  eng.schedule_at(100, [&] { order.push_back(1); });
+  eng.run();
+  ASSERT_EQ(eng.now(), 100);
+  ASSERT_EQ(eng.past_schedules_clamped(), 0u);
+
+  // A request 50 ns in the past must not assert (NDEBUG), must not
+  // corrupt queue order, and must be visible in the clamp counter.
+  eng.schedule_at(50, [&] { order.push_back(2); });
+  EXPECT_EQ(eng.past_schedules_clamped(), 1u);
+  eng.schedule_at(100, [&] { order.push_back(3); });  // t == now() is legal
+  eng.run();
+  EXPECT_EQ(eng.now(), 100);  // clamped event fired AT now(), not before
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));  // FIFO among same-time
+}
+
+TEST(EngineReleaseGuard, PastRescheduleClampsAndCounts) {
+  des::Engine eng;
+  int fired_at = -1;
+  eng.schedule_at(10, [] {});
+  const des::EventId id = eng.schedule_at(500, [&] {
+    fired_at = static_cast<int>(eng.now());
+  });
+  eng.schedule_at(200, [&] {
+    // From event context at t=200, rescheduling to t=40 is a past-time
+    // request: clamp to 200 and fire it next.
+    EXPECT_TRUE(eng.reschedule(id, 40));
+  });
+  eng.run();
+  EXPECT_EQ(eng.past_schedules_clamped(), 1u);
+  EXPECT_EQ(fired_at, 200);
+}
+
+TEST(EngineReleaseGuard, ShardedPastScheduleClamps) {
+  des::Engine eng;
+  std::vector<int> order;
+  eng.schedule_on(3, 1000, [&] { order.push_back(1); });
+  eng.run();
+  ASSERT_EQ(eng.now(), 1000);
+  eng.schedule_on(7, 250, [&] { order.push_back(2); });
+  EXPECT_EQ(eng.past_schedules_clamped(), 1u);
+  eng.run();
+  EXPECT_EQ(eng.now(), 1000);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(EngineReleaseGuard, LegalSchedulesNeverCount) {
+  des::Engine eng;
+  for (int i = 0; i < 1000; ++i) {
+    eng.schedule_at(i * 10, [] {});
+  }
+  eng.run();
+  EXPECT_EQ(eng.past_schedules_clamped(), 0u);
+  EXPECT_EQ(eng.events_fired(), 1000u);
+}
+
+}  // namespace

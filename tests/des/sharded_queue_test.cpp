@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -165,6 +166,84 @@ TEST(ShardedQueue, FuzzExactEquivalenceWithMonolithicQueue) {
     }
     EXPECT_TRUE(sharded.empty());
     EXPECT_EQ(fired_sharded, fired_mono);
+  }
+}
+
+// Fail-stop crash DURING the hot phase of the hybrid queue: the victim
+// shard dies while its queue holds events in both tiers — some in the
+// near-future calendar wheel (cursor mid-bucket, pops in progress) and
+// some parked in the far-future overflow heap awaiting a spill.
+// cancel_shard() must drop every one of them without perturbing the
+// global (time, seq) order of the survivors, and the shard must accept
+// fresh events afterwards (lineage recovery reuses the shard index).
+TEST(ShardedQueue, CancelShardMidRunWithBothTiersPopulated) {
+  ShardedEventQueue q(4);
+  // kWheelSpan for the hybrid queue is 262144 ns; times below 200k land
+  // in the wheel, the +10ms/+80ms groups start in the overflow tier.
+  constexpr Time kFar1 = 10'000'000;
+  constexpr Time kFar2 = 80'000'000;
+  struct Expect {
+    Time time;
+    std::uint64_t idx;  // global schedule order == FIFO seq order
+    int tag;
+  };
+  std::vector<int> fired;
+  std::vector<Expect> pending;  // mirror of every still-live event
+  std::uint64_t idx = 0;
+  auto sched = [&](std::uint32_t shard, Time t, int tag) {
+    q.schedule(shard, t, [&fired, tag] { fired.push_back(tag); });
+    pending.push_back({t, idx++, tag});
+  };
+  const std::uint32_t victim = 2;
+  for (std::uint32_t s = 0; s < 4; ++s) {
+    for (int i = 0; i < 32; ++i) {
+      const int tag = static_cast<int>(s) * 1000 + i;
+      sched(s, static_cast<Time>(i) * 5000, tag);            // wheel tier
+      sched(s, kFar1 + static_cast<Time>(i) * 3000, tag + 100);  // overflow
+      sched(s, kFar2 + static_cast<Time>(i) * 7000, tag + 200);  // overflow
+    }
+  }
+  // Hot phase: pop a third of the population, so every shard's wheel
+  // cursor is mid-flight and part of the overflow has spilled.
+  const std::size_t total = pending.size();
+  for (std::size_t i = 0; i < total / 3; ++i) {
+    auto f = q.pop();
+    f.fn();
+  }
+  // The mirror drops what fired (fired order is checked at the end).
+  std::erase_if(pending, [&](const Expect& e) {
+    for (int tag : fired) {
+      if (tag == e.tag) return true;
+    }
+    return false;
+  });
+
+  const std::size_t victim_live = q.shard_size(victim);
+  EXPECT_GT(victim_live, 0u);
+  EXPECT_EQ(q.cancel_shard(victim), victim_live);
+  EXPECT_EQ(q.shard_size(victim), 0u);
+  std::erase_if(pending, [&](const Expect& e) {
+    return static_cast<std::uint32_t>(e.tag / 1000) == victim;
+  });
+  EXPECT_EQ(q.size(), pending.size());
+
+  // Recovery path: the crashed shard keeps working for re-executed
+  // lineage — schedule near-tier AND far-tier events on it post-crash.
+  sched(victim, kFar1, 9001);
+  sched(victim, kFar2 + 1, 9002);
+  const Time resume = q.next_time();
+  sched(victim, resume, 9000);  // ties with the current front; FIFO-last
+
+  const std::size_t fired_before_drain = fired.size();
+  while (!q.empty()) q.pop().fn();
+
+  // Survivors must have fired in exact (time, seq) order.
+  std::sort(pending.begin(), pending.end(), [](const Expect& a, const Expect& b) {
+    return a.time != b.time ? a.time < b.time : a.idx < b.idx;
+  });
+  ASSERT_EQ(fired.size(), fired_before_drain + pending.size());
+  for (std::size_t i = 0; i < pending.size(); ++i) {
+    EXPECT_EQ(fired[fired_before_drain + i], pending[i].tag) << "at " << i;
   }
 }
 
